@@ -1,0 +1,358 @@
+use std::collections::BTreeMap;
+
+use mobigrid_forecast::{
+    AxisSmoothing, BrownPositionEstimator, DeadReckoning, HoltLinear, LastKnown, PositionEstimator,
+};
+use mobigrid_geo::Point;
+use mobigrid_wireless::{LocationUpdate, MnId};
+
+/// Which location estimator the broker runs for filtered nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EstimatorKind {
+    /// No estimation: the broker keeps the last received location (the
+    /// paper's "without LE" arm).
+    WithoutLe,
+    /// Brown's double exponential smoothing over speed and direction — the
+    /// paper's estimator (§3.3).
+    Brown {
+        /// Smoothing factor in `(0, 1)`.
+        alpha: f64,
+    },
+    /// Holt's linear method applied per coordinate axis (ablation).
+    HoltAxes {
+        /// Level smoothing factor in `(0, 1]`.
+        alpha: f64,
+        /// Trend smoothing factor in `(0, 1]`.
+        beta: f64,
+    },
+    /// Dead reckoning from the last two received updates (ablation).
+    DeadReckoning,
+    /// A constant-velocity Kalman filter (ablation): optimal for genuinely
+    /// constant-velocity motion with Gaussian noise, but extrapolates
+    /// unboundedly through silences.
+    KalmanCv {
+        /// Process (acceleration) noise in m/s².
+        accel_sigma: f64,
+        /// Measurement noise in metres.
+        measurement_sigma: f64,
+    },
+}
+
+impl EstimatorKind {
+    fn build(self) -> Box<dyn PositionEstimator + Send> {
+        match self {
+            EstimatorKind::WithoutLe => Box::new(LastKnown::new()),
+            EstimatorKind::Brown { alpha } => {
+                Box::new(BrownPositionEstimator::new(alpha).expect("validated smoothing factor"))
+            }
+            EstimatorKind::HoltAxes { alpha, beta } => {
+                let make = || HoltLinear::new(alpha, beta).expect("validated smoothing factors");
+                Box::new(AxisSmoothing::new(make(), make(), 1.0))
+            }
+            EstimatorKind::DeadReckoning => Box::new(DeadReckoning::new()),
+            EstimatorKind::KalmanCv {
+                accel_sigma,
+                measurement_sigma,
+            } => Box::new(
+                mobigrid_forecast::KalmanCv::new(accel_sigma, measurement_sigma)
+                    .expect("validated sigmas"),
+            ),
+        }
+    }
+
+    /// Validates the embedded parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the invalid parameter.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            EstimatorKind::Brown { alpha }
+                if (alpha <= 0.0 || alpha >= 1.0 || !alpha.is_finite()) =>
+            {
+                return Err(format!("brown alpha must be in (0,1), got {alpha}"));
+            }
+            EstimatorKind::HoltAxes { alpha, beta } => {
+                for v in [alpha, beta] {
+                    if v <= 0.0 || v > 1.0 || !v.is_finite() {
+                        return Err(format!("holt factors must be in (0,1], got {v}"));
+                    }
+                }
+            }
+            EstimatorKind::KalmanCv {
+                accel_sigma,
+                measurement_sigma,
+            } => {
+                for v in [accel_sigma, measurement_sigma] {
+                    if v <= 0.0 || !v.is_finite() {
+                        return Err(format!("kalman sigmas must be positive, got {v}"));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// What the broker currently believes about one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationRecord {
+    /// The believed position.
+    pub position: Point,
+    /// When the belief was formed (receipt or estimation time).
+    pub time_s: f64,
+    /// `true` when the position came from the location estimator rather
+    /// than a received update.
+    pub estimated: bool,
+}
+
+/// The grid broker's location service: a location DB plus the location
+/// estimator (Figure 3's right-hand side).
+///
+/// Received updates are stored verbatim and fed to the per-node estimator;
+/// when an update is filtered the broker asks the estimator for the node's
+/// likely position and stores that instead, flagged as estimated.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_adf::{EstimatorKind, GridBroker};
+/// use mobigrid_geo::Point;
+/// use mobigrid_wireless::{LocationUpdate, MnId};
+///
+/// let mut broker = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+/// let mn = MnId::new(1);
+/// for t in 0..10 {
+///     let lu = LocationUpdate::new(mn, t as f64, Point::new(2.0 * t as f64, 0.0), t);
+///     broker.receive(&lu);
+/// }
+/// // The next two updates are filtered; the broker extrapolates the walk.
+/// broker.note_filtered(mn, 10.0);
+/// let rec = broker.location(mn).unwrap();
+/// assert!(rec.estimated);
+/// assert!((rec.position.x - 20.0).abs() < 1.0);
+/// ```
+pub struct GridBroker {
+    kind: EstimatorKind,
+    records: BTreeMap<MnId, LocationRecord>,
+    estimators: BTreeMap<MnId, Box<dyn PositionEstimator + Send>>,
+    home_anchors: BTreeMap<MnId, Point>,
+    received: u64,
+    estimated: u64,
+}
+
+impl std::fmt::Debug for GridBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridBroker")
+            .field("kind", &self.kind)
+            .field("nodes", &self.records.len())
+            .field("received", &self.received)
+            .field("estimated", &self.estimated)
+            .finish()
+    }
+}
+
+impl GridBroker {
+    /// Creates a broker with the given estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the estimator's parameter-validation message.
+    pub fn new(kind: EstimatorKind) -> Result<Self, String> {
+        kind.validate()?;
+        Ok(GridBroker {
+            kind,
+            records: BTreeMap::new(),
+            estimators: BTreeMap::new(),
+            home_anchors: BTreeMap::new(),
+            received: 0,
+            estimated: 0,
+        })
+    }
+
+    /// Registers where `node` lives (its home region's centre) as prior
+    /// knowledge for the location estimator. In a mobile grid the broker
+    /// holds this from node registration; estimators that maintain a
+    /// long-horizon anchor shrink toward it while a node's own history is
+    /// thin.
+    pub fn set_home_anchor(&mut self, node: MnId, anchor: Point) {
+        self.home_anchors.insert(node, anchor);
+        if let Some(est) = self.estimators.get_mut(&node) {
+            est.set_home_anchor(anchor);
+        }
+    }
+
+    /// The estimator this broker runs.
+    #[must_use]
+    pub fn estimator_kind(&self) -> EstimatorKind {
+        self.kind
+    }
+
+    /// Ingests a received location update.
+    pub fn receive(&mut self, lu: &LocationUpdate) {
+        self.received += 1;
+        self.records.insert(
+            lu.node,
+            LocationRecord {
+                position: lu.position,
+                time_s: lu.time_s,
+                estimated: false,
+            },
+        );
+        let kind = self.kind;
+        let anchor = self.home_anchors.get(&lu.node).copied();
+        self.estimators
+            .entry(lu.node)
+            .or_insert_with(|| {
+                let mut est = kind.build();
+                if let Some(a) = anchor {
+                    est.set_home_anchor(a);
+                }
+                est
+            })
+            .observe(lu.time_s, lu.position);
+    }
+
+    /// Notes that `node`'s update at `time_s` was filtered: estimates its
+    /// position and stores the estimate.
+    ///
+    /// A node never heard from has no record and no estimator; the call is
+    /// a no-op then (the broker cannot invent a location).
+    pub fn note_filtered(&mut self, node: MnId, time_s: f64) {
+        let Some(est) = self.estimators.get(&node) else {
+            return;
+        };
+        if let Some(position) = est.estimate(time_s) {
+            self.estimated += 1;
+            self.records.insert(
+                node,
+                LocationRecord {
+                    position,
+                    time_s,
+                    estimated: true,
+                },
+            );
+        }
+    }
+
+    /// The broker's current belief about `node`.
+    #[must_use]
+    pub fn location(&self, node: MnId) -> Option<LocationRecord> {
+        self.records.get(&node).copied()
+    }
+
+    /// Number of nodes with a record in the location DB.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Updates received.
+    #[must_use]
+    pub fn received_count(&self) -> u64 {
+        self.received
+    }
+
+    /// Estimates performed.
+    #[must_use]
+    pub fn estimated_count(&self) -> u64 {
+        self.estimated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lu(node: u32, t: f64, x: f64, y: f64) -> LocationUpdate {
+        LocationUpdate::new(MnId::new(node), t, Point::new(x, y), 0)
+    }
+
+    #[test]
+    fn without_le_keeps_last_received() {
+        let mut b = GridBroker::new(EstimatorKind::WithoutLe).unwrap();
+        b.receive(&lu(1, 0.0, 5.0, 5.0));
+        b.note_filtered(MnId::new(1), 10.0);
+        let rec = b.location(MnId::new(1)).unwrap();
+        // "Estimate" equals the stale last position.
+        assert_eq!(rec.position, Point::new(5.0, 5.0));
+        assert!(rec.estimated);
+    }
+
+    #[test]
+    fn brown_extrapolates_straight_walks() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        for t in 0..20 {
+            b.receive(&lu(1, t as f64, 1.5 * t as f64, 0.0));
+        }
+        b.note_filtered(MnId::new(1), 22.0);
+        let rec = b.location(MnId::new(1)).unwrap();
+        assert!(rec.estimated);
+        assert!(
+            (rec.position.x - 33.0).abs() < 1.0,
+            "x = {}",
+            rec.position.x
+        );
+    }
+
+    #[test]
+    fn received_overrides_previous_estimate() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        b.receive(&lu(1, 0.0, 0.0, 0.0));
+        b.receive(&lu(1, 1.0, 1.0, 0.0));
+        b.note_filtered(MnId::new(1), 2.0);
+        assert!(b.location(MnId::new(1)).unwrap().estimated);
+        b.receive(&lu(1, 3.0, 3.0, 0.0));
+        let rec = b.location(MnId::new(1)).unwrap();
+        assert!(!rec.estimated);
+        assert_eq!(rec.position, Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn unknown_node_filtered_is_noop() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        b.note_filtered(MnId::new(9), 1.0);
+        assert_eq!(b.location(MnId::new(9)), None);
+        assert_eq!(b.estimated_count(), 0);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut b = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        b.receive(&lu(1, 0.0, 0.0, 0.0));
+        b.receive(&lu(2, 0.0, 1.0, 1.0));
+        b.note_filtered(MnId::new(1), 1.0);
+        assert_eq!(b.received_count(), 2);
+        assert_eq!(b.estimated_count(), 1);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn invalid_estimator_parameters_rejected() {
+        assert!(GridBroker::new(EstimatorKind::Brown { alpha: 1.5 }).is_err());
+        assert!(GridBroker::new(EstimatorKind::HoltAxes {
+            alpha: 0.5,
+            beta: 0.0
+        })
+        .is_err());
+        assert!(GridBroker::new(EstimatorKind::WithoutLe).is_ok());
+    }
+
+    #[test]
+    fn holt_axes_estimator_tracks_diagonals() {
+        let mut b = GridBroker::new(EstimatorKind::HoltAxes {
+            alpha: 0.7,
+            beta: 0.3,
+        })
+        .unwrap();
+        for t in 0..30 {
+            b.receive(&lu(1, t as f64, t as f64, 2.0 * t as f64));
+        }
+        b.note_filtered(MnId::new(1), 31.0);
+        let rec = b.location(MnId::new(1)).unwrap();
+        assert!((rec.position.x - 31.0).abs() < 1.0);
+        assert!((rec.position.y - 62.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,336 @@
+use std::collections::VecDeque;
+
+use mobigrid_geo::{Heading, Point};
+use mobigrid_mobility::MobilityPattern;
+
+/// One step of observed motion: speed and (when moving) direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionSample {
+    /// Speed over the step, in m/s.
+    pub speed: f64,
+    /// Direction of the step; `None` when stationary.
+    pub heading: Option<Heading>,
+}
+
+/// The paper's Figure-2 mobility-pattern classification algorithm.
+///
+/// Feed timestamped positions with [`MobilityClassifier::observe`]; the
+/// classifier derives per-step speed and heading over a sliding window and
+/// classifies:
+///
+/// * mean speed ≈ 0 → **Stop State**,
+/// * mean speed > `v_walk` (running / vehicle) → **Linear Movement**,
+/// * walking speed with steady velocity and direction → **Linear Movement**,
+/// * walking speed with frequent velocity or direction changes → **Random
+///   Movement**.
+///
+/// "Frequent" is quantified by the fraction of window steps whose heading
+/// turned more than [`AdfConfig::direction_change_threshold`] or whose speed
+/// jumped more than [`AdfConfig::speed_change_fraction`] of the window mean
+/// (the paper leaves these constants unspecified; see `DESIGN.md`).
+///
+/// [`AdfConfig::direction_change_threshold`]: crate::AdfConfig
+/// [`AdfConfig::speed_change_fraction`]: crate::AdfConfig
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_adf::MobilityClassifier;
+/// use mobigrid_geo::Point;
+/// use mobigrid_mobility::MobilityPattern;
+///
+/// let mut c = MobilityClassifier::new(10, 2.0);
+/// for t in 0..10 {
+///     c.observe(t as f64, Point::new(1.2 * t as f64, 0.0)); // steady walk east
+/// }
+/// assert_eq!(c.classify(), MobilityPattern::Linear);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityClassifier {
+    window: usize,
+    v_walk: f64,
+    stop_speed: f64,
+    direction_change_threshold: f64,
+    speed_change_fraction: f64,
+    frequent_fraction: f64,
+    samples: VecDeque<MotionSample>,
+    last: Option<(f64, Point)>,
+}
+
+impl MobilityClassifier {
+    /// Default speed below which a node counts as stopped, in m/s.
+    pub const DEFAULT_STOP_SPEED: f64 = 0.05;
+
+    /// Default heading change counted as a direction change: 45°.
+    pub const DEFAULT_DIRECTION_CHANGE: f64 = std::f64::consts::FRAC_PI_4;
+
+    /// Default relative speed jump counted as a velocity change.
+    pub const DEFAULT_SPEED_CHANGE_FRACTION: f64 = 0.5;
+
+    /// Default fraction of changing steps that makes changes "frequent".
+    pub const DEFAULT_FREQUENT_FRACTION: f64 = 0.35;
+
+    /// Creates a classifier with a sliding `window` of motion steps and the
+    /// maximum walking velocity `v_walk` (m/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window < 2` or `v_walk` is not strictly positive.
+    #[must_use]
+    pub fn new(window: usize, v_walk: f64) -> Self {
+        assert!(window >= 2, "classifier window must hold at least 2 steps");
+        assert!(
+            v_walk.is_finite() && v_walk > 0.0,
+            "v_walk must be positive"
+        );
+        MobilityClassifier {
+            window,
+            v_walk,
+            stop_speed: Self::DEFAULT_STOP_SPEED,
+            direction_change_threshold: Self::DEFAULT_DIRECTION_CHANGE,
+            speed_change_fraction: Self::DEFAULT_SPEED_CHANGE_FRACTION,
+            frequent_fraction: Self::DEFAULT_FREQUENT_FRACTION,
+            samples: VecDeque::new(),
+            last: None,
+        }
+    }
+
+    /// Overrides the change-detection thresholds (used by the classifier
+    /// ablation bench).
+    #[must_use]
+    pub fn with_thresholds(
+        mut self,
+        direction_change_threshold: f64,
+        speed_change_fraction: f64,
+        frequent_fraction: f64,
+    ) -> Self {
+        self.direction_change_threshold = direction_change_threshold;
+        self.speed_change_fraction = speed_change_fraction;
+        self.frequent_fraction = frequent_fraction;
+        self
+    }
+
+    /// The configured walking-velocity ceiling.
+    #[must_use]
+    pub fn v_walk(&self) -> f64 {
+        self.v_walk
+    }
+
+    /// Feeds the node's position at `time_s`, deriving one motion step from
+    /// the previous observation. Out-of-order or same-time observations are
+    /// ignored.
+    pub fn observe(&mut self, time_s: f64, position: Point) {
+        if let Some((t0, p0)) = self.last {
+            let dt = time_s - t0;
+            if dt <= 0.0 {
+                return;
+            }
+            let delta = position - p0;
+            let sample = MotionSample {
+                speed: delta.norm() / dt,
+                heading: delta.heading(),
+            };
+            if self.samples.len() == self.window {
+                self.samples.pop_front();
+            }
+            self.samples.push_back(sample);
+        }
+        self.last = Some((time_s, position));
+    }
+
+    /// Number of motion steps currently in the window.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean speed over the window, in m/s (zero before any steps).
+    #[must_use]
+    pub fn mean_speed(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.speed).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The most recent heading observed while moving, if any.
+    #[must_use]
+    pub fn last_heading(&self) -> Option<Heading> {
+        self.samples.iter().rev().find_map(|s| s.heading)
+    }
+
+    /// Fraction of window steps exhibiting a velocity or direction change.
+    #[must_use]
+    pub fn change_fraction(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_speed().max(1e-9);
+        let mut changes = 0usize;
+        let mut steps = 0usize;
+        let mut prev: Option<&MotionSample> = None;
+        for s in &self.samples {
+            if let Some(p) = prev {
+                steps += 1;
+                let speed_jump = (s.speed - p.speed).abs() > self.speed_change_fraction * mean;
+                let turn = match (p.heading, s.heading) {
+                    (Some(a), Some(b)) => a.angle_to(b) > self.direction_change_threshold,
+                    // A transition between moving and stopped counts as a
+                    // change of movement character.
+                    (None, Some(_)) | (Some(_), None) => true,
+                    (None, None) => false,
+                };
+                if speed_jump || turn {
+                    changes += 1;
+                }
+            }
+            prev = Some(s);
+        }
+        changes as f64 / steps as f64
+    }
+
+    /// Classifies the window per Figure 2. With no motion history yet,
+    /// returns [`MobilityPattern::Stop`].
+    #[must_use]
+    pub fn classify(&self) -> MobilityPattern {
+        let v = self.mean_speed();
+        if v <= self.stop_speed {
+            return MobilityPattern::Stop;
+        }
+        if v > self.v_walk {
+            // Running or in a vehicle: destination-directed by assumption.
+            return MobilityPattern::Linear;
+        }
+        if self.change_fraction() > self.frequent_fraction {
+            MobilityPattern::Random
+        } else {
+            MobilityPattern::Linear
+        }
+    }
+
+    /// Clears all motion history.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_line(c: &mut MobilityClassifier, speed: f64, n: usize) {
+        for t in 0..n {
+            c.observe(t as f64, Point::new(speed * t as f64, 0.0));
+        }
+    }
+
+    #[test]
+    fn stationary_node_is_stop() {
+        let mut c = MobilityClassifier::new(10, 2.0);
+        for t in 0..10 {
+            c.observe(t as f64, Point::new(3.0, 4.0));
+        }
+        assert_eq!(c.classify(), MobilityPattern::Stop);
+        assert_eq!(c.mean_speed(), 0.0);
+    }
+
+    #[test]
+    fn no_history_defaults_to_stop() {
+        let c = MobilityClassifier::new(10, 2.0);
+        assert_eq!(c.classify(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    fn steady_walk_is_linear() {
+        let mut c = MobilityClassifier::new(10, 2.0);
+        feed_line(&mut c, 1.4, 12);
+        assert_eq!(c.classify(), MobilityPattern::Linear);
+        assert!((c.mean_speed() - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_movement_is_linear_even_if_jittery() {
+        // A vehicle above v_walk is LMS regardless of direction changes.
+        let mut c = MobilityClassifier::new(10, 2.0);
+        let mut pos = Point::ORIGIN;
+        for t in 0..12 {
+            // Zig-zag at 8 m/s.
+            let dir = if t % 2 == 0 { 1.0 } else { -1.0 };
+            pos += mobigrid_geo::Vec2::new(8.0 * 0.7, 8.0 * 0.7 * dir);
+            c.observe(t as f64, pos);
+        }
+        assert!(c.mean_speed() > 2.0);
+        assert_eq!(c.classify(), MobilityPattern::Linear);
+    }
+
+    #[test]
+    fn jittery_slow_movement_is_random() {
+        // Walking speed but turning sharply every step.
+        let mut c = MobilityClassifier::new(10, 2.0);
+        let mut pos = Point::ORIGIN;
+        for t in 0..14 {
+            let angle = (t as f64) * 2.5; // wild turns
+            pos += mobigrid_geo::Vec2::from_polar(0.8, mobigrid_geo::Heading::from_radians(angle));
+            c.observe(t as f64, pos);
+        }
+        assert_eq!(c.classify(), MobilityPattern::Random);
+    }
+
+    #[test]
+    fn walking_with_single_turn_stays_linear() {
+        // Tom's case (8): a destination walk with one turn at a crossroads.
+        let mut c = MobilityClassifier::new(12, 2.0);
+        let mut t = 0.0;
+        let mut pos = Point::ORIGIN;
+        for _ in 0..6 {
+            pos += mobigrid_geo::Vec2::new(1.2, 0.0);
+            c.observe(t, pos);
+            t += 1.0;
+        }
+        for _ in 0..6 {
+            pos += mobigrid_geo::Vec2::new(0.0, 1.2);
+            c.observe(t, pos);
+            t += 1.0;
+        }
+        assert_eq!(c.classify(), MobilityPattern::Linear);
+    }
+
+    #[test]
+    fn window_slides_and_reclassifies() {
+        let mut c = MobilityClassifier::new(6, 2.0);
+        feed_line(&mut c, 1.0, 8);
+        assert_eq!(c.classify(), MobilityPattern::Linear);
+        // Node stops: after the window refills with zero-speed steps the
+        // pattern flips to Stop.
+        let last = Point::new(7.0, 0.0);
+        for t in 8..20 {
+            c.observe(t as f64, last);
+        }
+        assert_eq!(c.classify(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    fn out_of_order_observations_ignored() {
+        let mut c = MobilityClassifier::new(10, 2.0);
+        c.observe(5.0, Point::ORIGIN);
+        c.observe(4.0, Point::new(100.0, 0.0)); // ignored
+        c.observe(5.0, Point::new(50.0, 0.0)); // same time: ignored
+        assert_eq!(c.sample_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut c = MobilityClassifier::new(10, 2.0);
+        feed_line(&mut c, 1.0, 5);
+        c.reset();
+        assert_eq!(c.sample_count(), 0);
+        assert_eq!(c.classify(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_window_panics() {
+        let _ = MobilityClassifier::new(1, 2.0);
+    }
+}

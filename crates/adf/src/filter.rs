@@ -1,0 +1,290 @@
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::Point;
+
+/// The outcome of passing one location observation through a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The location update is transmitted to the grid broker.
+    Sent,
+    /// The location update is suppressed; the broker must estimate.
+    Filtered,
+}
+
+impl Decision {
+    /// Returns `true` for [`Decision::Sent`].
+    #[must_use]
+    pub fn is_sent(self) -> bool {
+        matches!(self, Decision::Sent)
+    }
+}
+
+/// Which reference position the moving distance is measured from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterReference {
+    /// Distance moved since the **previous observation** — the paper's
+    /// semantics ("compares the MN's moving distance with the DTH").
+    /// A node moving steadily below its DTH is suppressed indefinitely, so
+    /// the broker's error is unbounded without estimation; this is exactly
+    /// why the paper pairs the filter with a location estimator.
+    PreviousObservation,
+    /// Distance moved since the **last transmitted** position — the
+    /// dead-band variant common in moving-object databases. Slow nodes
+    /// accumulate displacement and eventually report, bounding the broker's
+    /// error by the DTH. Kept as an ablation arm.
+    LastTransmitted,
+}
+
+/// The per-node distance filter (DF): suppress the location update while
+/// the node's moving distance is below the Distance Threshold (DTH).
+///
+/// The first observation is always sent (the broker must learn the node
+/// exists somewhere). See [`FilterReference`] for the two distance
+/// semantics; the paper's is [`FilterReference::PreviousObservation`].
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_adf::{Decision, DistanceFilter, FilterReference};
+/// use mobigrid_geo::Point;
+///
+/// // Paper semantics: a node creeping at 1 m/tick under a 2 m DTH stays
+/// // silent forever…
+/// let mut df = DistanceFilter::new(2.0);
+/// assert!(df.observe(Point::new(0.0, 0.0)).is_sent());
+/// assert!(!df.observe(Point::new(1.0, 0.0)).is_sent());
+/// assert!(!df.observe(Point::new(2.0, 0.0)).is_sent());
+/// assert!(!df.observe(Point::new(3.0, 0.0)).is_sent());
+///
+/// // …while the dead-band variant reports once 2 m accumulate.
+/// let mut db = DistanceFilter::with_reference(2.0, FilterReference::LastTransmitted);
+/// assert!(db.observe(Point::new(0.0, 0.0)).is_sent());
+/// assert!(!db.observe(Point::new(1.0, 0.0)).is_sent());
+/// assert!(db.observe(Point::new(2.0, 0.0)).is_sent());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceFilter {
+    dth: f64,
+    reference: FilterReference,
+    last_sent: Option<Point>,
+    last_observed: Option<Point>,
+    sent: u64,
+    filtered: u64,
+}
+
+impl DistanceFilter {
+    /// Creates a filter with threshold `dth` metres and the paper's
+    /// previous-observation semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dth` is negative or non-finite. A zero DTH is allowed
+    /// and sends every observation (the "ideal LU" behaviour).
+    #[must_use]
+    pub fn new(dth: f64) -> Self {
+        DistanceFilter::with_reference(dth, FilterReference::PreviousObservation)
+    }
+
+    /// Creates a filter with an explicit distance reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dth` is negative or non-finite.
+    #[must_use]
+    pub fn with_reference(dth: f64, reference: FilterReference) -> Self {
+        assert!(dth.is_finite() && dth >= 0.0, "DTH must be non-negative");
+        DistanceFilter {
+            dth,
+            reference,
+            last_sent: None,
+            last_observed: None,
+            sent: 0,
+            filtered: 0,
+        }
+    }
+
+    /// The current distance threshold in metres.
+    #[must_use]
+    pub fn dth(&self) -> f64 {
+        self.dth
+    }
+
+    /// The distance semantics in use.
+    #[must_use]
+    pub fn reference(&self) -> FilterReference {
+        self.reference
+    }
+
+    /// Re-sizes the threshold (the ADF does this on every reclustering).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dth` is negative or non-finite.
+    pub fn set_dth(&mut self, dth: f64) {
+        assert!(dth.is_finite() && dth >= 0.0, "DTH must be non-negative");
+        self.dth = dth;
+    }
+
+    /// The last transmitted position, if any update has been sent.
+    #[must_use]
+    pub fn last_sent(&self) -> Option<Point> {
+        self.last_sent
+    }
+
+    /// Filters one observation.
+    pub fn observe(&mut self, position: Point) -> Decision {
+        let anchor = match self.reference {
+            FilterReference::PreviousObservation => self.last_observed,
+            FilterReference::LastTransmitted => self.last_sent,
+        };
+        let send = match anchor {
+            None => true,
+            Some(prev) => prev.distance_to(position) >= self.dth,
+        };
+        self.last_observed = Some(position);
+        if send {
+            self.last_sent = Some(position);
+            self.sent += 1;
+            Decision::Sent
+        } else {
+            self.filtered += 1;
+            Decision::Filtered
+        }
+    }
+
+    /// Number of observations transmitted.
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of observations suppressed.
+    #[must_use]
+    pub fn filtered_count(&self) -> u64 {
+        self.filtered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_always_sent() {
+        let mut df = DistanceFilter::new(100.0);
+        assert_eq!(df.observe(Point::ORIGIN), Decision::Sent);
+        assert_eq!(df.last_sent(), Some(Point::ORIGIN));
+    }
+
+    #[test]
+    fn zero_dth_sends_everything() {
+        for reference in [
+            FilterReference::PreviousObservation,
+            FilterReference::LastTransmitted,
+        ] {
+            let mut df = DistanceFilter::with_reference(0.0, reference);
+            for i in 0..5 {
+                assert!(df.observe(Point::new(f64::from(i) * 0.001, 0.0)).is_sent());
+            }
+            assert_eq!(df.sent_count(), 5);
+        }
+    }
+
+    #[test]
+    fn paper_semantics_suppress_steady_slow_movers_indefinitely() {
+        let mut df = DistanceFilter::new(3.0);
+        df.observe(Point::new(0.0, 0.0));
+        for i in 1..100 {
+            let d = df.observe(Point::new(f64::from(i) * 2.0, 0.0));
+            assert!(!d.is_sent(), "step {i} sent despite moving < DTH per tick");
+        }
+        assert_eq!(df.sent_count(), 1);
+    }
+
+    #[test]
+    fn paper_semantics_send_fast_steps() {
+        let mut df = DistanceFilter::new(3.0);
+        df.observe(Point::new(0.0, 0.0));
+        assert!(df.observe(Point::new(5.0, 0.0)).is_sent());
+        assert!(!df.observe(Point::new(6.0, 0.0)).is_sent());
+        assert!(df.observe(Point::new(10.0, 0.0)).is_sent());
+    }
+
+    #[test]
+    fn dead_band_accumulates_from_last_sent() {
+        let mut df = DistanceFilter::with_reference(3.0, FilterReference::LastTransmitted);
+        df.observe(Point::new(0.0, 0.0));
+        assert!(!df.observe(Point::new(1.0, 0.0)).is_sent());
+        assert!(!df.observe(Point::new(2.0, 0.0)).is_sent());
+        assert!(df.observe(Point::new(3.0, 0.0)).is_sent());
+        // Baseline resets to (3,0).
+        assert!(!df.observe(Point::new(4.0, 0.0)).is_sent());
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut df = DistanceFilter::new(2.0);
+        df.observe(Point::ORIGIN);
+        assert!(df.observe(Point::new(2.0, 0.0)).is_sent());
+    }
+
+    #[test]
+    fn stationary_node_sends_only_once() {
+        for reference in [
+            FilterReference::PreviousObservation,
+            FilterReference::LastTransmitted,
+        ] {
+            let mut df = DistanceFilter::with_reference(1.0, reference);
+            df.observe(Point::new(5.0, 5.0));
+            for _ in 0..100 {
+                assert!(!df.observe(Point::new(5.0, 5.0)).is_sent());
+            }
+            assert_eq!(df.sent_count(), 1);
+            assert_eq!(df.filtered_count(), 100);
+        }
+    }
+
+    #[test]
+    fn oscillation_below_dth_is_fully_filtered() {
+        // A node pacing between two points 1 m apart never exceeds a 2 m
+        // DTH under either semantics — the RMS-in-a-lab case.
+        for reference in [
+            FilterReference::PreviousObservation,
+            FilterReference::LastTransmitted,
+        ] {
+            let mut df = DistanceFilter::with_reference(2.0, reference);
+            df.observe(Point::new(0.0, 0.0));
+            for i in 0..50 {
+                let x = if i % 2 == 0 { 1.0 } else { 0.0 };
+                assert!(!df.observe(Point::new(x, 0.0)).is_sent());
+            }
+        }
+    }
+
+    #[test]
+    fn set_dth_applies_immediately() {
+        let mut df = DistanceFilter::new(10.0);
+        df.observe(Point::ORIGIN);
+        assert!(!df.observe(Point::new(5.0, 0.0)).is_sent());
+        df.set_dth(4.0);
+        assert!(df.observe(Point::new(10.0, 0.0)).is_sent());
+    }
+
+    #[test]
+    fn reference_accessor_reports_semantics() {
+        assert_eq!(
+            DistanceFilter::new(1.0).reference(),
+            FilterReference::PreviousObservation
+        );
+        assert_eq!(
+            DistanceFilter::with_reference(1.0, FilterReference::LastTransmitted).reference(),
+            FilterReference::LastTransmitted
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dth_panics() {
+        let _ = DistanceFilter::new(-1.0);
+    }
+}

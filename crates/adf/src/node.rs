@@ -1,0 +1,172 @@
+use rand::rngs::StdRng;
+
+use mobigrid_campus::{RegionId, RegionKind};
+use mobigrid_geo::Point;
+use mobigrid_mobility::{MobilityModel, MobilityPattern, NodeType, Trace};
+use mobigrid_wireless::MnId;
+
+/// A mobile grid node: identity, workload metadata and its ground-truth
+/// mobility generator.
+///
+/// The node owns its RNG (seeded deterministically per node by the workload
+/// generator) and records its ground-truth trace, which the experiments
+/// compare broker beliefs against.
+pub struct MobileNode {
+    id: MnId,
+    region: RegionId,
+    region_kind: RegionKind,
+    node_type: NodeType,
+    declared_pattern: MobilityPattern,
+    model: Box<dyn MobilityModel + Send>,
+    rng: StdRng,
+    position: Point,
+    trace: Trace,
+    home_anchor: Option<Point>,
+}
+
+impl std::fmt::Debug for MobileNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobileNode")
+            .field("id", &self.id)
+            .field("region", &self.region)
+            .field("kind", &self.region_kind)
+            .field("type", &self.node_type)
+            .field("pattern", &self.declared_pattern)
+            .field("position", &self.position)
+            .finish()
+    }
+}
+
+impl MobileNode {
+    /// Creates a node. `declared_pattern` is the Table-1 workload label
+    /// (what the generator intends), which the ADF's classifier tries to
+    /// recover from motion alone.
+    pub fn new(
+        id: MnId,
+        region: RegionId,
+        region_kind: RegionKind,
+        node_type: NodeType,
+        declared_pattern: MobilityPattern,
+        model: Box<dyn MobilityModel + Send>,
+        rng: StdRng,
+    ) -> Self {
+        let position = model.position();
+        MobileNode {
+            id,
+            region,
+            region_kind,
+            node_type,
+            declared_pattern,
+            model,
+            rng,
+            position,
+            trace: Trace::new(),
+            home_anchor: None,
+        }
+    }
+
+    /// Attaches the node's home-region anchor (e.g. the region centre),
+    /// which the broker registers as estimator prior knowledge.
+    #[must_use]
+    pub fn with_home_anchor(mut self, anchor: Point) -> Self {
+        self.home_anchor = Some(anchor);
+        self
+    }
+
+    /// The home-region anchor, when set by the workload generator.
+    #[must_use]
+    pub fn home_anchor(&self) -> Option<Point> {
+        self.home_anchor
+    }
+
+    /// The node's identity.
+    #[must_use]
+    pub fn id(&self) -> MnId {
+        self.id
+    }
+
+    /// The node's home region (where Table 1 placed it).
+    #[must_use]
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// Whether the home region is a road or a building.
+    #[must_use]
+    pub fn region_kind(&self) -> RegionKind {
+        self.region_kind
+    }
+
+    /// Human-carried or vehicle-mounted.
+    #[must_use]
+    pub fn node_type(&self) -> NodeType {
+        self.node_type
+    }
+
+    /// The workload's intended mobility pattern for this node.
+    #[must_use]
+    pub fn declared_pattern(&self) -> MobilityPattern {
+        self.declared_pattern
+    }
+
+    /// Current ground-truth position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// The recorded ground-truth trace.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Advances the node by `dt` seconds to simulation time `time_s`,
+    /// recording the trace point and returning the new position.
+    pub fn step(&mut self, time_s: f64, dt: f64) -> Point {
+        self.position = self.model.step(dt, &mut self.rng);
+        self.trace.record(time_s, self.position);
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigrid_campus::RegionId;
+    use mobigrid_mobility::StopModel;
+    use rand::SeedableRng;
+
+    fn parked_node() -> MobileNode {
+        MobileNode::new(
+            MnId::new(3),
+            RegionId::from_index(0),
+            RegionKind::Building,
+            NodeType::Human,
+            MobilityPattern::Stop,
+            Box::new(StopModel::new(Point::new(7.0, 8.0))),
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn metadata_round_trips() {
+        let n = parked_node();
+        assert_eq!(n.id(), MnId::new(3));
+        assert_eq!(n.region().index(), 0);
+        assert_eq!(n.region_kind(), RegionKind::Building);
+        assert_eq!(n.node_type(), NodeType::Human);
+        assert_eq!(n.declared_pattern(), MobilityPattern::Stop);
+        assert_eq!(n.position(), Point::new(7.0, 8.0));
+    }
+
+    #[test]
+    fn stepping_records_the_trace() {
+        let mut n = parked_node();
+        for t in 1..=5 {
+            n.step(t as f64, 1.0);
+        }
+        assert_eq!(n.trace().len(), 5);
+        assert_eq!(n.trace().total_distance(), 0.0);
+    }
+}

@@ -1,0 +1,509 @@
+use mobigrid_campus::RegionKind;
+use mobigrid_sim::stats::Rmse;
+use mobigrid_wireless::{AccessNetwork, LocationUpdate};
+
+use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
+
+/// Everything the experiments need from one simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickStats {
+    /// Simulation time at the end of the tick, in seconds.
+    pub time_s: f64,
+    /// Location updates transmitted this tick (the Figure-4 series).
+    pub sent: u32,
+    /// Location updates observed (transmitted + filtered) this tick.
+    pub observed: u32,
+    /// Per-region-kind tallies for this tick (Figure 6).
+    pub region: RegionTally,
+    /// RMSE of the broker *with* the location estimator (Figure 7).
+    pub rmse_with_le: f64,
+    /// RMSE of the broker *without* the estimator (Figure 7).
+    pub rmse_without_le: f64,
+    /// Road-only RMSE with the estimator (Figure 9).
+    pub road_rmse_with_le: f64,
+    /// Road-only RMSE without the estimator (Figure 8).
+    pub road_rmse_without_le: f64,
+    /// Building-only RMSE with the estimator (Figure 9).
+    pub building_rmse_with_le: f64,
+    /// Building-only RMSE without the estimator (Figure 8).
+    pub building_rmse_without_le: f64,
+}
+
+/// Builder for [`MobileGridSim`].
+///
+/// # Examples
+///
+/// See [`MobileGridSim`].
+pub struct SimBuilder {
+    nodes: Vec<MobileNode>,
+    policy: Option<Box<dyn FilterPolicy + Send>>,
+    estimator: EstimatorKind,
+    network: Option<AccessNetwork>,
+    dt: f64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> Self {
+        SimBuilder {
+            nodes: Vec::new(),
+            policy: None,
+            estimator: EstimatorKind::Brown { alpha: 0.5 },
+            network: None,
+            dt: 1.0,
+        }
+    }
+}
+
+impl SimBuilder {
+    /// Starts an empty builder (1 s ticks, Brown α = 0.5 estimator).
+    #[must_use]
+    pub fn new() -> Self {
+        SimBuilder::default()
+    }
+
+    /// Sets the node population. Node ids must be the dense range `0..n`.
+    #[must_use]
+    pub fn nodes(mut self, nodes: Vec<MobileNode>) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the filter policy under test.
+    #[must_use]
+    pub fn policy(mut self, policy: impl FilterPolicy + Send + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Sets the "with LE" broker's estimator (the "without LE" broker always
+    /// runs [`EstimatorKind::WithoutLe`]).
+    #[must_use]
+    pub fn estimator(mut self, kind: EstimatorKind) -> Self {
+        self.estimator = kind;
+        self
+    }
+
+    /// Attaches an access network for traffic accounting. Updates sent from
+    /// outside any gateway's coverage are counted as dropped and do not
+    /// reach the brokers.
+    #[must_use]
+    pub fn network(mut self, network: AccessNetwork) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Overrides the tick length in seconds (default 1.0, as in the paper).
+    #[must_use]
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Assembles the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Reports missing policy, empty/non-dense node population, invalid
+    /// estimator parameters or a non-positive tick length.
+    pub fn build(self) -> Result<MobileGridSim, String> {
+        let policy = self.policy.ok_or("a filter policy is required")?;
+        if self.nodes.is_empty() {
+            return Err("at least one node is required".to_string());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.id().index() != i {
+                return Err(format!(
+                    "node ids must be dense 0..n: found {} at position {i}",
+                    n.id()
+                ));
+            }
+        }
+        if !(self.dt.is_finite() && self.dt > 0.0) {
+            return Err(format!("dt must be positive, got {}", self.dt));
+        }
+        let mut broker_le = GridBroker::new(self.estimator)?;
+        let mut broker_raw = GridBroker::new(EstimatorKind::WithoutLe)?;
+        for node in &self.nodes {
+            if let Some(anchor) = node.home_anchor() {
+                broker_le.set_home_anchor(node.id(), anchor);
+                broker_raw.set_home_anchor(node.id(), anchor);
+            }
+        }
+        let seqs = vec![0u32; self.nodes.len()];
+        Ok(MobileGridSim {
+            nodes: self.nodes,
+            policy,
+            broker_le,
+            broker_raw,
+            network: self.network,
+            dt: self.dt,
+            tick: 0,
+            seqs,
+            cumulative: RegionTally::new(),
+        })
+    }
+}
+
+/// The full evaluation pipeline: nodes → filter policy → (optional) access
+/// network → twin brokers (with and without the location estimator).
+///
+/// Each [`MobileGridSim::step`] advances every node one tick, filters the
+/// resulting location updates, feeds both brokers identically, and measures
+/// each broker's location error against ground truth — producing exactly the
+/// quantities plotted in the paper's Figures 4–9.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_adf::{IdealPolicy, MobileNode, SimBuilder};
+/// use mobigrid_campus::{RegionId, RegionKind};
+/// use mobigrid_geo::Point;
+/// use mobigrid_mobility::{MobilityPattern, NodeType, StopModel};
+/// use mobigrid_wireless::MnId;
+/// use rand::SeedableRng;
+///
+/// let node = MobileNode::new(
+///     MnId::new(0),
+///     RegionId::from_index(0),
+///     RegionKind::Building,
+///     NodeType::Human,
+///     MobilityPattern::Stop,
+///     Box::new(StopModel::new(Point::new(1.0, 1.0))),
+///     rand::rngs::StdRng::seed_from_u64(0),
+/// );
+/// let mut sim = SimBuilder::new()
+///     .nodes(vec![node])
+///     .policy(IdealPolicy::new())
+///     .build()
+///     .unwrap();
+/// let stats = sim.step();
+/// assert_eq!(stats.sent, 1);
+/// assert_eq!(stats.rmse_without_le, 0.0); // ideal policy: no error
+/// ```
+pub struct MobileGridSim {
+    nodes: Vec<MobileNode>,
+    policy: Box<dyn FilterPolicy + Send>,
+    broker_le: GridBroker,
+    broker_raw: GridBroker,
+    network: Option<AccessNetwork>,
+    dt: f64,
+    tick: u64,
+    seqs: Vec<u32>,
+    cumulative: RegionTally,
+}
+
+impl std::fmt::Debug for MobileGridSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobileGridSim")
+            .field("nodes", &self.nodes.len())
+            .field("policy", &self.policy.name())
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl MobileGridSim {
+    /// Starts building a simulation.
+    #[must_use]
+    pub fn builder() -> SimBuilder {
+        SimBuilder::new()
+    }
+
+    /// The node population.
+    #[must_use]
+    pub fn nodes(&self) -> &[MobileNode] {
+        &self.nodes
+    }
+
+    /// The filter policy under test.
+    #[must_use]
+    pub fn policy(&self) -> &(dyn FilterPolicy + Send) {
+        self.policy.as_ref()
+    }
+
+    /// The broker running the location estimator.
+    #[must_use]
+    pub fn broker_with_le(&self) -> &GridBroker {
+        &self.broker_le
+    }
+
+    /// The broker without estimation (last-received only).
+    #[must_use]
+    pub fn broker_without_le(&self) -> &GridBroker {
+        &self.broker_raw
+    }
+
+    /// The access network, when attached.
+    #[must_use]
+    pub fn network(&self) -> Option<&AccessNetwork> {
+        self.network.as_ref()
+    }
+
+    /// Ticks executed so far.
+    #[must_use]
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Cumulative per-kind tallies since the start of the run.
+    #[must_use]
+    pub fn cumulative_tally(&self) -> RegionTally {
+        self.cumulative
+    }
+
+    /// Executes one tick and returns its statistics.
+    pub fn step(&mut self) -> TickStats {
+        self.tick += 1;
+        let time_s = self.tick as f64 * self.dt;
+
+        // 1. Advance ground truth.
+        let observations: Vec<(mobigrid_wireless::MnId, mobigrid_geo::Point)> = self
+            .nodes
+            .iter_mut()
+            .map(|n| {
+                let p = n.step(time_s, self.dt);
+                (n.id(), p)
+            })
+            .collect();
+
+        // 2. Filter.
+        let decisions = self.policy.process_tick(time_s, &observations);
+        debug_assert_eq!(decisions.len(), observations.len());
+
+        // 3. Deliver or estimate; tally per region kind.
+        let mut tick_tally = RegionTally::new();
+        let mut sent = 0u32;
+        for ((node, (id, pos)), decision) in self.nodes.iter().zip(&observations).zip(&decisions) {
+            debug_assert_eq!(node.id(), *id);
+            match decision {
+                Decision::Sent => {
+                    let seq = &mut self.seqs[id.index()];
+                    let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
+                    *seq = seq.wrapping_add(1);
+                    let delivered = match &mut self.network {
+                        Some(net) => net.transmit(&lu).is_ok(),
+                        None => true,
+                    };
+                    if delivered {
+                        sent += 1;
+                        tick_tally.record(node.region_kind(), true);
+                        self.broker_le.receive(&lu);
+                        self.broker_raw.receive(&lu);
+                    } else {
+                        // Out of coverage: the broker sees nothing and must
+                        // estimate, same as a filtered update.
+                        tick_tally.record(node.region_kind(), false);
+                        self.broker_le.note_filtered(*id, time_s);
+                        self.broker_raw.note_filtered(*id, time_s);
+                    }
+                }
+                Decision::Filtered => {
+                    tick_tally.record(node.region_kind(), false);
+                    self.broker_le.note_filtered(*id, time_s);
+                    self.broker_raw.note_filtered(*id, time_s);
+                }
+            }
+        }
+        self.cumulative.merge(&tick_tally);
+
+        // 4. Measure location error against ground truth, per broker and
+        //    per region kind — the paper's RMSE over all n nodes at time t.
+        let mut all_le = Rmse::new();
+        let mut all_raw = Rmse::new();
+        let mut road_le = Rmse::new();
+        let mut road_raw = Rmse::new();
+        let mut bld_le = Rmse::new();
+        let mut bld_raw = Rmse::new();
+        for (node, (id, truth)) in self.nodes.iter().zip(&observations) {
+            let err_le = self
+                .broker_le
+                .location(*id)
+                .map_or(0.0, |r| r.position.distance_to(*truth));
+            let err_raw = self
+                .broker_raw
+                .location(*id)
+                .map_or(0.0, |r| r.position.distance_to(*truth));
+            all_le.push(err_le);
+            all_raw.push(err_raw);
+            match node.region_kind() {
+                RegionKind::Road => {
+                    road_le.push(err_le);
+                    road_raw.push(err_raw);
+                }
+                RegionKind::Building => {
+                    bld_le.push(err_le);
+                    bld_raw.push(err_raw);
+                }
+            }
+        }
+
+        TickStats {
+            time_s,
+            sent,
+            observed: observations.len() as u32,
+            region: tick_tally,
+            rmse_with_le: all_le.value(),
+            rmse_without_le: all_raw.value(),
+            road_rmse_with_le: road_le.value(),
+            road_rmse_without_le: road_raw.value(),
+            building_rmse_with_le: bld_le.value(),
+            building_rmse_without_le: bld_raw.value(),
+        }
+    }
+
+    /// Runs `ticks` steps, collecting every tick's statistics.
+    pub fn run(&mut self, ticks: u64) -> Vec<TickStats> {
+        (0..ticks).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveDistanceFilter, AdfConfig, IdealPolicy};
+    use mobigrid_campus::RegionId;
+    use mobigrid_geo::{Point, Polyline};
+    use mobigrid_mobility::{LoopMode, MobilityPattern, NodeType, PathFollower, StopModel};
+    use mobigrid_wireless::MnId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn walker(id: u32, speed: f64) -> MobileNode {
+        let y = f64::from(id) * 50.0;
+        let path = Polyline::new(vec![Point::new(0.0, y), Point::new(1000.0, y)]).unwrap();
+        MobileNode::new(
+            MnId::new(id),
+            RegionId::from_index(6), // a road
+            RegionKind::Road,
+            NodeType::Human,
+            MobilityPattern::Linear,
+            Box::new(PathFollower::new(path, speed, LoopMode::PingPong)),
+            StdRng::seed_from_u64(u64::from(id)),
+        )
+    }
+
+    fn parked(id: u32) -> MobileNode {
+        MobileNode::new(
+            MnId::new(id),
+            RegionId::from_index(0),
+            RegionKind::Building,
+            NodeType::Human,
+            MobilityPattern::Stop,
+            Box::new(StopModel::new(Point::new(500.0, 500.0))),
+            StdRng::seed_from_u64(u64::from(id)),
+        )
+    }
+
+    #[test]
+    fn ideal_policy_sends_every_node_every_tick() {
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(IdealPolicy::new())
+            .build()
+            .unwrap();
+        for _ in 0..10 {
+            let s = sim.step();
+            assert_eq!(s.sent, 2);
+            assert_eq!(s.observed, 2);
+            // Broker is always current: zero error.
+            assert_eq!(s.rmse_without_le, 0.0);
+            assert_eq!(s.rmse_with_le, 0.0);
+        }
+        assert_eq!(sim.cumulative_tally().total_sent(), 20);
+    }
+
+    #[test]
+    fn adf_reduces_traffic_and_le_reduces_error() {
+        let nodes = vec![walker(0, 1.5), walker(1, 1.6), walker(2, 8.0), parked(3)];
+        let mut sim = SimBuilder::new()
+            .nodes(nodes)
+            .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.25)).unwrap())
+            .build()
+            .unwrap();
+        let stats = sim.run(300);
+
+        let total_sent: u64 = stats.iter().map(|s| u64::from(s.sent)).sum();
+        let total_obs: u64 = stats.iter().map(|s| u64::from(s.observed)).sum();
+        assert!(total_sent < total_obs, "no reduction at all");
+        assert!(
+            (total_sent as f64) < 0.9 * total_obs as f64,
+            "reduction too weak: {total_sent}/{total_obs}"
+        );
+
+        // Post-warmup, LE error should beat the stale-last-position error
+        // on average (the walkers move predictably).
+        let tail = &stats[30..];
+        let mean_le: f64 = tail.iter().map(|s| s.rmse_with_le).sum::<f64>() / tail.len() as f64;
+        let mean_raw: f64 = tail.iter().map(|s| s.rmse_without_le).sum::<f64>() / tail.len() as f64;
+        assert!(
+            mean_le < mean_raw,
+            "LE did not help: with={mean_le} without={mean_raw}"
+        );
+    }
+
+    #[test]
+    fn accounting_conserves_observations() {
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1), walker(2, 5.0)])
+            .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+            .build()
+            .unwrap();
+        let stats = sim.run(100);
+        for s in &stats {
+            assert_eq!(
+                s.region.total_observed(),
+                u64::from(s.observed),
+                "per-kind tallies must cover every observation"
+            );
+        }
+        let tally = sim.cumulative_tally();
+        assert_eq!(tally.total_observed(), 300);
+        let total_sent: u64 = stats.iter().map(|s| u64::from(s.sent)).sum();
+        assert_eq!(tally.total_sent(), total_sent);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configurations() {
+        assert!(SimBuilder::new().build().is_err()); // no policy
+        assert!(SimBuilder::new()
+            .policy(IdealPolicy::new())
+            .build()
+            .is_err()); // no nodes
+                        // Non-dense ids.
+        let err = SimBuilder::new()
+            .nodes(vec![walker(5, 1.0)])
+            .policy(IdealPolicy::new())
+            .build()
+            .unwrap_err();
+        assert!(err.contains("dense"));
+        // Bad dt.
+        let err = SimBuilder::new()
+            .nodes(vec![walker(0, 1.0)])
+            .policy(IdealPolicy::new())
+            .dt(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("dt"));
+    }
+
+    #[test]
+    fn network_accounting_matches_sent_updates() {
+        use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind};
+        let net = AccessNetwork::new(vec![Gateway::new(
+            0,
+            GatewayKind::BaseStation,
+            Point::new(500.0, 250.0),
+            10_000.0,
+        )]);
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(IdealPolicy::new())
+            .network(net)
+            .build()
+            .unwrap();
+        sim.run(50);
+        let meter = sim.network().unwrap().meter();
+        assert_eq!(meter.messages(), 100);
+        assert_eq!(meter.bytes(), 100 * LocationUpdate::WIRE_SIZE as u64);
+    }
+}

@@ -1,0 +1,112 @@
+use mobigrid_campus::RegionKind;
+
+/// Sent/observed tallies split by region kind (road vs building) — the axis
+/// of the paper's Figure 6 and Figures 8/9.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindTally {
+    /// Updates transmitted.
+    pub sent: u64,
+    /// Updates observed (transmitted + filtered).
+    pub observed: u64,
+}
+
+impl KindTally {
+    /// Fraction of observations transmitted, in `[0, 1]`; zero when nothing
+    /// was observed.
+    #[must_use]
+    pub fn transmission_rate(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.sent as f64 / self.observed as f64
+        }
+    }
+}
+
+/// Per-region-kind tallies for one run or one tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionTally {
+    /// Tallies for road regions.
+    pub road: KindTally,
+    /// Tallies for building regions.
+    pub building: KindTally,
+}
+
+impl RegionTally {
+    /// Creates zeroed tallies.
+    #[must_use]
+    pub fn new() -> Self {
+        RegionTally::default()
+    }
+
+    /// Records one observation of the given kind.
+    pub fn record(&mut self, kind: RegionKind, sent: bool) {
+        let t = match kind {
+            RegionKind::Road => &mut self.road,
+            RegionKind::Building => &mut self.building,
+        };
+        t.observed += 1;
+        if sent {
+            t.sent += 1;
+        }
+    }
+
+    /// Total updates transmitted across both kinds.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.road.sent + self.building.sent
+    }
+
+    /// Total updates observed across both kinds.
+    #[must_use]
+    pub fn total_observed(&self) -> u64 {
+        self.road.observed + self.building.observed
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &RegionTally) {
+        self.road.sent += other.road.sent;
+        self.road.observed += other.road.observed;
+        self.building.sent += other.building.sent;
+        self.building.observed += other.building.observed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_by_kind() {
+        let mut t = RegionTally::new();
+        t.record(RegionKind::Road, true);
+        t.record(RegionKind::Road, false);
+        t.record(RegionKind::Building, true);
+        assert_eq!(t.road.sent, 1);
+        assert_eq!(t.road.observed, 2);
+        assert_eq!(t.building.sent, 1);
+        assert_eq!(t.total_sent(), 2);
+        assert_eq!(t.total_observed(), 3);
+    }
+
+    #[test]
+    fn transmission_rate() {
+        let mut t = RegionTally::new();
+        for i in 0..10 {
+            t.record(RegionKind::Road, i % 2 == 0);
+        }
+        assert!((t.road.transmission_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(t.building.transmission_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = RegionTally::new();
+        a.record(RegionKind::Road, true);
+        let mut b = RegionTally::new();
+        b.record(RegionKind::Building, false);
+        a.merge(&b);
+        assert_eq!(a.total_observed(), 2);
+        assert_eq!(a.total_sent(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the adaptive distance filter.
+
+use mobigrid_adf::{
+    AdaptiveDistanceFilter, AdfConfig, DistanceFilter, FilterPolicy, FilterReference,
+    MobilityClassifier,
+};
+use mobigrid_geo::{Point, Vec2};
+use mobigrid_mobility::MobilityPattern;
+use mobigrid_wireless::MnId;
+use proptest::prelude::*;
+
+fn trajectory() -> impl Strategy<Value = Vec<Point>> {
+    // Random walks with bounded per-step displacement.
+    prop::collection::vec((-3.0..3.0f64, -3.0..3.0f64), 2..120).prop_map(|steps| {
+        let mut pos = Point::ORIGIN;
+        let mut out = vec![pos];
+        for (dx, dy) in steps {
+            pos += Vec2::new(dx, dy);
+            out.push(pos);
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Raising the DTH never increases the number of transmitted updates
+    /// under the paper's per-observation semantics, where each decision
+    /// depends only on the current step length.
+    ///
+    /// (This is deliberately *not* asserted for the dead-band variant:
+    /// its anchor path depends on the threshold, so a larger DTH can keep
+    /// an older anchor from which a later displacement happens to exceed
+    /// it — dead-band filters are only monotone on average, not per
+    /// trajectory. Proptest found the counterexample.)
+    #[test]
+    fn filter_is_monotone_in_dth_under_paper_semantics(
+        traj in trajectory(),
+        dth_lo in 0.0..3.0f64,
+        extra in 0.1..5.0f64,
+    ) {
+        let reference = FilterReference::PreviousObservation;
+        let mut small = DistanceFilter::with_reference(dth_lo, reference);
+        let mut large = DistanceFilter::with_reference(dth_lo + extra, reference);
+        for p in &traj {
+            small.observe(*p);
+            large.observe(*p);
+        }
+        prop_assert!(
+            large.sent_count() <= small.sent_count(),
+            "dth {dth_lo}+{extra} sent more"
+        );
+    }
+
+    /// Counts always conserve: sent + filtered = observations.
+    #[test]
+    fn filter_counts_conserve(traj in trajectory(), dth in 0.0..5.0f64) {
+        let mut f = DistanceFilter::new(dth);
+        for p in &traj {
+            f.observe(*p);
+        }
+        prop_assert_eq!(f.sent_count() + f.filtered_count(), traj.len() as u64);
+        prop_assert!(f.sent_count() >= 1, "first update is always sent");
+    }
+
+    /// Under dead-band semantics the broker's stale error is bounded by the
+    /// DTH: every observation lies within DTH of the last transmitted point.
+    #[test]
+    fn dead_band_bounds_stale_error(traj in trajectory(), dth in 0.5..5.0f64) {
+        let mut f = DistanceFilter::with_reference(dth, FilterReference::LastTransmitted);
+        for p in &traj {
+            f.observe(*p);
+            let anchor = f.last_sent().expect("first observation sent");
+            prop_assert!(anchor.distance_to(*p) < dth + 1e-9);
+        }
+    }
+
+    /// The classifier never reports movement for a motionless node and
+    /// never reports Stop for a node moving faster than walking pace.
+    #[test]
+    fn classifier_speed_extremes(speed in 2.5..15.0f64, steps in 5usize..40) {
+        let mut moving = MobilityClassifier::new(10, 2.0);
+        let mut still = MobilityClassifier::new(10, 2.0);
+        for t in 0..steps {
+            let t_f = t as f64;
+            moving.observe(t_f, Point::new(speed * t_f, 0.0));
+            still.observe(t_f, Point::new(5.0, 5.0));
+        }
+        prop_assert_eq!(moving.classify(), MobilityPattern::Linear);
+        prop_assert_eq!(still.classify(), MobilityPattern::Stop);
+    }
+
+    /// Classifier change fraction is a valid fraction.
+    #[test]
+    fn classifier_change_fraction_is_bounded(traj in trajectory()) {
+        let mut c = MobilityClassifier::new(12, 2.0);
+        for (t, p) in traj.iter().enumerate() {
+            c.observe(t as f64, *p);
+        }
+        let f = c.change_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(c.mean_speed() >= 0.0);
+    }
+
+    /// The ADF policy returns exactly one decision per observation and its
+    /// DTHs are always non-negative and finite.
+    #[test]
+    fn adf_decisions_align_with_observations(
+        node_count in 1usize..12,
+        ticks in 1u64..60,
+        seed in any::<u64>(),
+    ) {
+        let mut adf = AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid");
+        // Deterministic pseudo-random trajectories from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 250.0 - 2.0
+        };
+        let mut positions: Vec<Point> = (0..node_count).map(|i| Point::new(i as f64 * 50.0, 0.0)).collect();
+        for t in 1..=ticks {
+            let obs: Vec<(MnId, Point)> = positions
+                .iter_mut()
+                .enumerate()
+                .map(|(i, p)| {
+                    *p += Vec2::new(next(), next());
+                    (MnId::new(i as u32), *p)
+                })
+                .collect();
+            let decisions = adf.process_tick(t as f64, &obs);
+            prop_assert_eq!(decisions.len(), obs.len());
+            for (id, _) in &obs {
+                let dth = adf.dth_for(*id).expect("observed node has a threshold");
+                prop_assert!(dth.is_finite() && dth >= 0.0);
+            }
+        }
+    }
+
+    /// Two identical tick streams produce identical ADF decisions —
+    /// the policy is deterministic.
+    #[test]
+    fn adf_is_deterministic(ticks in 1u64..40, seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut adf = AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid");
+            let mut sent = Vec::new();
+            let mut x = (seed % 97) as f64;
+            for t in 1..=ticks {
+                x += 1.5 + (t.wrapping_mul(seed) % 3) as f64 * 0.1;
+                let obs = [(MnId::new(0), Point::new(x, 0.0))];
+                sent.push(adf.process_tick(t as f64, &obs)[0].is_sent());
+            }
+            sent
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,161 @@
+//! Micro-benchmarks of the algorithmic kernels on the simulation's hot
+//! path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mobigrid_adf::{DistanceFilter, MobilityClassifier};
+use mobigrid_bench::build_adf_sim;
+use mobigrid_campus::Campus;
+use mobigrid_cluster::Bsas;
+use mobigrid_forecast::{BrownPositionEstimator, Forecaster, PositionEstimator};
+use mobigrid_geo::{Point, Polyline};
+use mobigrid_hla::{FedTime, ObjectModel, Rti};
+use mobigrid_sim::{EventQueue, SimTime};
+
+fn bench_bsas_clustering(c: &mut Criterion) {
+    // 110 moving nodes' velocity features, the per-recluster workload.
+    let features: Vec<Vec<f64>> = (0..110)
+        .map(|i| vec![1.0 + f64::from(i % 10) * 0.9])
+        .collect();
+    c.bench_function("bsas_cluster_110_nodes", |b| {
+        b.iter(|| black_box(Bsas::new(1.0).cluster(black_box(&features))));
+    });
+}
+
+fn bench_brown_smoother(c: &mut Criterion) {
+    c.bench_function("brown_observe_forecast", |b| {
+        let mut brown = mobigrid_forecast::BrownDouble::new(0.5).expect("valid");
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.0;
+            brown.observe(black_box(x));
+            black_box(brown.forecast(1.0))
+        });
+    });
+}
+
+fn bench_position_estimator(c: &mut Criterion) {
+    c.bench_function("brown_position_observe_estimate", |b| {
+        let mut est = BrownPositionEstimator::new(0.5).expect("valid");
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            est.observe(t, Point::new(1.3 * t, 0.2 * t));
+            black_box(est.estimate(t + 1.0))
+        });
+    });
+}
+
+fn bench_distance_filter(c: &mut Criterion) {
+    c.bench_function("distance_filter_observe", |b| {
+        let mut df = DistanceFilter::new(2.0);
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.7;
+            black_box(df.observe(Point::new(x, 0.0)))
+        });
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    c.bench_function("classifier_observe_classify", |b| {
+        let mut cl = MobilityClassifier::new(10, 2.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            cl.observe(t, Point::new(1.2 * t, (t * 0.3).sin()));
+            black_box(cl.classify())
+        });
+    });
+}
+
+fn bench_polyline_walk(c: &mut Criterion) {
+    let road = Polyline::new(
+        (0..20)
+            .map(|i| Point::new(f64::from(i) * 25.0, f64::from(i % 3) * 10.0))
+            .collect(),
+    )
+    .expect("valid polyline");
+    let total = road.length();
+    c.bench_function("polyline_point_at_distance", |b| {
+        let mut s = 0.0;
+        b.iter(|| {
+            s = (s + 13.7) % total;
+            black_box(road.point_at_distance(black_box(s)))
+        });
+    });
+}
+
+fn bench_campus_routing(c: &mut Criterion) {
+    let campus = Campus::inha_like();
+    let from = campus.waypoint("gate_a").expect("exists");
+    let to = campus.entrance("B4").expect("exists");
+    c.bench_function("campus_dijkstra_route", |b| {
+        b.iter(|| black_box(campus.route(black_box(from), black_box(to))));
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 1000), i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum += e.event;
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_hla_update_reflect(c: &mut Criterion) {
+    let mut fom = ObjectModel::new();
+    let class = fom.add_object_class("C");
+    let attr = fom.add_attribute(class, "a").expect("fresh");
+    let rti = Rti::new();
+    rti.create_federation("bench", fom).expect("fresh");
+    let tx = rti.join("bench", "tx").expect("exists");
+    let rx = rti.join("bench", "rx").expect("exists");
+    tx.publish_object_class(class).expect("declared");
+    rx.subscribe_object_class(class, &[attr]).expect("declared");
+    tx.enable_time_regulation(FedTime::ZERO).expect("first");
+    let obj = tx.register_object(class).expect("published");
+    rx.tick().expect("joined");
+
+    c.bench_function("hla_update_reflect_roundtrip", |b| {
+        b.iter(|| {
+            tx.update_attributes(obj, vec![(attr, vec![1, 2, 3, 4])], None)
+                .expect("owned");
+            black_box(rx.tick().expect("joined"))
+        });
+    });
+}
+
+fn bench_full_sim_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.bench_function("full_140_node_tick", |b| {
+        let mut sim = build_adf_sim(11, 1.0);
+        b.iter(|| black_box(sim.step()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_bsas_clustering,
+    bench_brown_smoother,
+    bench_position_estimator,
+    bench_distance_filter,
+    bench_classifier,
+    bench_polyline_walk,
+    bench_campus_routing,
+    bench_event_queue,
+    bench_hla_update_reflect,
+    bench_full_sim_tick
+);
+criterion_main!(micro);

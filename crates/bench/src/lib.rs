@@ -1,0 +1,56 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one Criterion benchmark per paper table/figure, timing the
+//!   regeneration of each from scratch,
+//! * `ablations` — quality ablations over the design choices (`cargo bench
+//!   --bench ablations` prints comparison tables),
+//! * `micro` — micro-benchmarks of the hot algorithmic kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mobigrid_adf::{AdaptiveDistanceFilter, AdfConfig, MobileGridSim, SimBuilder};
+use mobigrid_campus::Campus;
+use mobigrid_experiments::config::ExperimentConfig;
+use mobigrid_experiments::workload;
+
+/// A short configuration used by the timing benches: full population, a few
+/// simulated minutes.
+#[must_use]
+pub fn bench_config(ticks: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        duration_ticks: ticks,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Builds a ready-to-run 140-node ADF simulation for micro/figure benches.
+///
+/// # Panics
+///
+/// Panics if the static configuration is invalid (it is not).
+#[must_use]
+pub fn build_adf_sim(seed: u64, factor: f64) -> MobileGridSim {
+    let campus = Campus::inha_like();
+    let nodes = workload::generate_population(&campus, seed);
+    SimBuilder::new()
+        .nodes(nodes)
+        .policy(AdaptiveDistanceFilter::new(AdfConfig::new(factor)).expect("valid config"))
+        .build()
+        .expect("valid simulation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        assert_eq!(bench_config(10).duration_ticks, 10);
+        let mut sim = build_adf_sim(1, 1.0);
+        let s = sim.step();
+        assert_eq!(s.observed, 140);
+    }
+}

@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from assembling or querying a campus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampusError {
+    /// A region name was registered twice.
+    DuplicateRegion {
+        /// The offending name.
+        name: String,
+    },
+    /// A named waypoint was registered twice.
+    DuplicateWaypoint {
+        /// The offending name.
+        name: String,
+    },
+    /// An entrance referenced a region that does not exist.
+    UnknownRegion {
+        /// The missing region name.
+        name: String,
+    },
+    /// A graph edge referenced a node that does not exist.
+    UnknownNode,
+    /// A corridor region was given a non-positive width.
+    InvalidCorridorWidth,
+}
+
+impl fmt::Display for CampusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampusError::DuplicateRegion { name } => {
+                write!(f, "region name registered twice: {name}")
+            }
+            CampusError::DuplicateWaypoint { name } => {
+                write!(f, "waypoint name registered twice: {name}")
+            }
+            CampusError::UnknownRegion { name } => write!(f, "unknown region: {name}"),
+            CampusError::UnknownNode => write!(f, "graph edge references unknown node"),
+            CampusError::InvalidCorridorWidth => {
+                write!(f, "corridor width must be positive")
+            }
+        }
+    }
+}
+
+impl Error for CampusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_names() {
+        let e = CampusError::UnknownRegion {
+            name: "B9".to_string(),
+        };
+        assert!(e.to_string().contains("B9"));
+    }
+}

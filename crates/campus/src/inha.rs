@@ -1,0 +1,279 @@
+//! The default campus layout, mirroring the paper's Figure-1 experiment site:
+//! five roads, six buildings and two gates on the south side, with the
+//! library (B4) reachable from gate B exactly as in Tom's §3.1 scenario.
+
+use mobigrid_geo::{Point, Polyline, Rect};
+
+use crate::{Campus, CampusBuilder};
+
+/// Names of the six building regions, in id order.
+pub const BUILDING_NAMES: [&str; 6] = ["B1", "B2", "B3", "B4", "B5", "B6"];
+
+/// Names of the five road regions, in id order.
+pub const ROAD_NAMES: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+
+/// Full width of every road corridor, in metres.
+pub const ROAD_WIDTH: f64 = 8.0;
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("static layout is valid")
+}
+
+fn line(points: &[(f64, f64)]) -> Polyline {
+    Polyline::new(points.iter().map(|&(x, y)| Point::new(x, y)).collect())
+        .expect("static layout is valid")
+}
+
+impl Campus {
+    /// Builds the paper-shaped default campus.
+    ///
+    /// Layout (south at `y = 0`, coordinates in metres):
+    ///
+    /// * **Gates** A `(100, 0)` and B `(400, 0)` on the south boundary, with
+    ///   the bus stop between them.
+    /// * **R1** — the east–west spine road at `y = 200`.
+    /// * **R4**/**R2** — north–south roads linking gates A/B to R1.
+    /// * **R3** — north from R1 to building B3.
+    /// * **R5** — north from R1 to the library (B4) and lecture hall (B6).
+    /// * **B1, B2, B5** — flank R1; **B3, B4, B6** — up R3/R5.
+    ///
+    /// The returned campus has exactly the paper's 11 regions (6 buildings +
+    /// 5 roads) and a connected waypoint graph covering every entrance.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let campus = mobigrid_campus::Campus::inha_like();
+    /// assert_eq!(campus.regions().len(), 11);
+    /// assert!(campus.waypoint("bus_stop").is_some());
+    /// ```
+    #[must_use]
+    pub fn inha_like() -> Campus {
+        let mut b: CampusBuilder = Campus::builder();
+
+        // --- Buildings (B1..B6) ---
+        b.add_building("B1", rect(70.0, 210.0, 130.0, 270.0))
+            .expect("unique name");
+        b.add_building("B2", rect(370.0, 210.0, 430.0, 270.0))
+            .expect("unique name");
+        b.add_building("B3", rect(120.0, 350.0, 180.0, 410.0))
+            .expect("unique name");
+        b.add_building("B4", rect(220.0, 330.0, 280.0, 390.0))
+            .expect("unique name");
+        b.add_building("B5", rect(440.0, 170.0, 500.0, 230.0))
+            .expect("unique name");
+        b.add_building("B6", rect(300.0, 330.0, 360.0, 390.0))
+            .expect("unique name");
+
+        // --- Roads (R1..R5) ---
+        b.add_road("R1", line(&[(50.0, 200.0), (450.0, 200.0)]), ROAD_WIDTH)
+            .expect("valid road");
+        b.add_road("R2", line(&[(400.0, 0.0), (400.0, 200.0)]), ROAD_WIDTH)
+            .expect("valid road");
+        b.add_road("R3", line(&[(150.0, 200.0), (150.0, 350.0)]), ROAD_WIDTH)
+            .expect("valid road");
+        b.add_road("R4", line(&[(100.0, 0.0), (100.0, 200.0)]), ROAD_WIDTH)
+            .expect("valid road");
+        b.add_road("R5", line(&[(250.0, 200.0), (250.0, 330.0)]), ROAD_WIDTH)
+            .expect("valid road");
+
+        // --- Gates and the bus stop ---
+        let gate_a = b
+            .add_waypoint("gate_a", Point::new(100.0, 0.0))
+            .expect("unique");
+        let gate_b = b
+            .add_waypoint("gate_b", Point::new(400.0, 0.0))
+            .expect("unique");
+        let bus_stop = b
+            .add_waypoint("bus_stop", Point::new(250.0, 0.0))
+            .expect("unique");
+
+        // --- Road junctions along R1 ---
+        let j_r4 = b
+            .add_waypoint("j_r4_r1", Point::new(100.0, 200.0))
+            .expect("unique");
+        let j_r3 = b
+            .add_waypoint("j_r3_r1", Point::new(150.0, 200.0))
+            .expect("unique");
+        let j_r5 = b
+            .add_waypoint("j_r5_r1", Point::new(250.0, 200.0))
+            .expect("unique");
+        let j_r2 = b
+            .add_waypoint("j_r2_r1", Point::new(400.0, 200.0))
+            .expect("unique");
+        let r3_end = b
+            .add_waypoint("r3_end", Point::new(150.0, 350.0))
+            .expect("unique");
+        let r5_end = b
+            .add_waypoint("r5_end", Point::new(250.0, 330.0))
+            .expect("unique");
+
+        // --- Building entrances ---
+        let e_b1 = b
+            .add_entrance("B1", Point::new(100.0, 210.0))
+            .expect("B1 exists");
+        let e_b2 = b
+            .add_entrance("B2", Point::new(400.0, 210.0))
+            .expect("B2 exists");
+        let e_b3 = b
+            .add_entrance("B3", Point::new(150.0, 352.0))
+            .expect("B3 exists");
+        let e_b4 = b
+            .add_entrance("B4", Point::new(250.0, 332.0))
+            .expect("B4 exists");
+        let e_b5 = b
+            .add_entrance("B5", Point::new(440.0, 200.0))
+            .expect("B5 exists");
+        let e_b6 = b
+            .add_entrance("B6", Point::new(302.0, 340.0))
+            .expect("B6 exists");
+
+        // --- Edges: south boundary walk ---
+        b.connect(gate_a, bus_stop).expect("nodes exist");
+        b.connect(bus_stop, gate_b).expect("nodes exist");
+
+        // --- Edges: gate roads (R4, R2) ---
+        b.connect(gate_a, j_r4).expect("nodes exist");
+        b.connect(gate_b, j_r2).expect("nodes exist");
+
+        // --- Edges: the R1 spine ---
+        b.connect(j_r4, j_r3).expect("nodes exist");
+        b.connect(j_r3, j_r5).expect("nodes exist");
+        b.connect(j_r5, j_r2).expect("nodes exist");
+        b.connect(j_r2, e_b5).expect("nodes exist");
+
+        // --- Edges: north roads (R3, R5) ---
+        b.connect(j_r3, r3_end).expect("nodes exist");
+        b.connect(j_r5, r5_end).expect("nodes exist");
+
+        // --- Edges: entrances ---
+        b.connect(j_r4, e_b1).expect("nodes exist");
+        b.connect(j_r2, e_b2).expect("nodes exist");
+        b.connect(r3_end, e_b3).expect("nodes exist");
+        b.connect(r5_end, e_b4).expect("nodes exist");
+        b.connect(r5_end, e_b6).expect("nodes exist");
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegionKind;
+
+    #[test]
+    fn has_eleven_regions() {
+        let c = Campus::inha_like();
+        assert_eq!(c.regions().len(), 11);
+        assert_eq!(c.regions_of_kind(RegionKind::Building).count(), 6);
+        assert_eq!(c.regions_of_kind(RegionKind::Road).count(), 5);
+    }
+
+    #[test]
+    fn all_named_regions_exist() {
+        let c = Campus::inha_like();
+        for name in BUILDING_NAMES.iter().chain(&ROAD_NAMES) {
+            assert!(c.region_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn every_building_has_an_entrance() {
+        let c = Campus::inha_like();
+        for name in BUILDING_NAMES {
+            assert!(c.entrance(name).is_some(), "no entrance for {name}");
+        }
+    }
+
+    #[test]
+    fn toms_morning_route_gate_b_to_library() {
+        // Scenario step (1): gate B -> R2 -> library (B4).
+        let c = Campus::inha_like();
+        let from = c.waypoint("gate_b").unwrap();
+        let to = c.entrance("B4").unwrap();
+        let path = c.route(from, to).expect("library reachable from gate B");
+        // R2 (200 m) + part of R1 (150 m) + R5 (130 m) + doorstep (2 m).
+        assert!((path.length() - 482.0).abs() < 1.0, "len={}", path.length());
+    }
+
+    #[test]
+    fn toms_afternoon_route_library_to_b3_changes_direction_twice() {
+        // Scenario step (8): B4 -> R5? No — paper: via R2, R1 and R3. In our
+        // layout the shortest walk is R5 south, R1 west, R3 north: two turns
+        // at the R5/R1 and R1/R3 junctions, matching the "twice changes of
+        // direction ... at the crossroads" observation.
+        let c = Campus::inha_like();
+        let from = c.entrance("B4").unwrap();
+        let to = c.entrance("B3").unwrap();
+        let nodes = c
+            .graph()
+            .shortest_path_nodes(from, to)
+            .expect("B3 reachable from B4");
+        // e_b4 -> r5_end -> j_r5 -> j_r3 -> r3_end -> e_b3
+        assert_eq!(nodes.len(), 6);
+    }
+
+    #[test]
+    fn entire_graph_is_connected() {
+        let c = Campus::inha_like();
+        let g = c.graph();
+        let origin = c.waypoint("gate_a").unwrap();
+        for target in g.node_ids() {
+            if target != origin {
+                assert!(
+                    g.shortest_path_nodes(origin, target).is_some(),
+                    "node {target} unreachable from gate A"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entrances_are_inside_or_on_their_building() {
+        let c = Campus::inha_like();
+        for name in BUILDING_NAMES {
+            let node = c.entrance(name).unwrap();
+            let p = c.graph().point(node);
+            let region = c.region_by_name(name).unwrap();
+            // Entrances sit on or within 3 m of the footprint boundary.
+            let bb = region.shape().bounding_box().inflated(3.0);
+            assert!(bb.contains(p), "entrance of {name} at {p} is far away");
+        }
+    }
+
+    #[test]
+    fn roads_do_not_contain_building_anchors() {
+        let c = Campus::inha_like();
+        for b in BUILDING_NAMES {
+            let anchor = c.region_by_name(b).unwrap().anchor();
+            let located = c.locate(anchor).unwrap();
+            assert_eq!(located.name(), b);
+        }
+    }
+
+    #[test]
+    fn road_anchors_locate_on_a_road() {
+        // Road midpoints can coincide with junctions shared between two
+        // corridors (R1's midpoint is the R1/R5 junction), so assert the
+        // kind rather than the specific road.
+        let c = Campus::inha_like();
+        for r in ROAD_NAMES {
+            let region = c.region_by_name(r).unwrap();
+            let anchor = region.anchor();
+            let located = c.locate(anchor).unwrap();
+            assert_eq!(located.kind(), RegionKind::Road, "anchor {anchor}");
+            assert!(region.contains(anchor));
+        }
+    }
+
+    #[test]
+    fn bus_stop_is_between_the_gates() {
+        let c = Campus::inha_like();
+        let a = c.graph().point(c.waypoint("gate_a").unwrap());
+        let b = c.graph().point(c.waypoint("gate_b").unwrap());
+        let s = c.graph().point(c.waypoint("bus_stop").unwrap());
+        assert!(s.x > a.x && s.x < b.x);
+        assert_eq!(s.y, 0.0);
+    }
+}

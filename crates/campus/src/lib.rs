@@ -1,0 +1,46 @@
+//! Campus experiment-site model for the mobigrid workspace.
+//!
+//! The paper evaluates the adaptive distance filter on a real university
+//! campus (Figure 1): five roads `R1–R5`, six buildings `B1–B6` and two
+//! gates, eleven regions in total that provide mobile-grid access. This crate
+//! models that site:
+//!
+//! * [`Region`] — a named region (building or road) with containment and
+//!   sampling queries,
+//! * [`Campus`] — the full site: region set, waypoint graph and routing,
+//! * [`WaypointGraph`] — gates, junctions and entrances joined by walkable
+//!   edges, with Dijkstra shortest paths,
+//! * [`Campus::inha_like`] — the default layout mirroring the paper's
+//!   topology, on which Tom's §3.1 daily scenario is routable.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobigrid_campus::{Campus, RegionKind};
+//!
+//! let campus = Campus::inha_like();
+//! assert_eq!(campus.regions().len(), 11); // 6 buildings + 5 roads
+//!
+//! // Route from gate B to the library (B4), as Tom does each morning.
+//! let gate_b = campus.waypoint("gate_b").unwrap();
+//! let library = campus.entrance("B4").unwrap();
+//! let path = campus.route(gate_b, library).expect("library is reachable");
+//! assert!(path.length() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campus;
+mod error;
+mod graph;
+mod grid_city;
+mod inha;
+mod region;
+
+pub use campus::{Campus, CampusBuilder};
+pub use error::CampusError;
+pub use graph::{NodeId, WaypointGraph};
+pub use grid_city::{BLOCK_SIZE, BUILDING_INSET};
+pub use inha::{BUILDING_NAMES, ROAD_NAMES, ROAD_WIDTH};
+pub use region::{Region, RegionId, RegionKind, RegionShape};

@@ -1,0 +1,294 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::{Point, Polyline, Rect};
+
+use crate::CampusError;
+
+/// Identifier of a region within its campus.
+///
+/// Indices are assigned densely in registration order, so experiment code can
+/// use them directly as array indices for per-region accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Creates an id from a raw dense index.
+    #[must_use]
+    pub const fn from_index(index: u32) -> Self {
+        RegionId(index)
+    }
+
+    /// The dense index of this region.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+/// The paper's two region categories. Road regions host linear movers
+/// (pedestrians and vehicles); buildings host stop, random-movement and slow
+/// linear-movement nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// An indoor region (B1–B6): wireless Internet coverage.
+    Building,
+    /// An outdoor road (R1–R5): cellular coverage.
+    Road,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionKind::Building => write!(f, "building"),
+            RegionKind::Road => write!(f, "road"),
+        }
+    }
+}
+
+/// The geometric footprint of a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RegionShape {
+    /// A rectangular footprint (buildings).
+    Rect(Rect),
+    /// A road corridor: a centreline with a constant width.
+    Corridor {
+        /// The road centreline.
+        spine: Polyline,
+        /// Full corridor width in metres.
+        width: f64,
+    },
+}
+
+impl RegionShape {
+    /// Returns `true` when `p` lies within the shape.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        match self {
+            RegionShape::Rect(r) => r.contains(p),
+            RegionShape::Corridor { spine, width } => spine.distance_to_point(p) <= width / 2.0,
+        }
+    }
+
+    /// A representative interior point (rect centre, or corridor midpoint).
+    #[must_use]
+    pub fn anchor(&self) -> Point {
+        match self {
+            RegionShape::Rect(r) => r.center(),
+            RegionShape::Corridor { spine, .. } => spine.point_at_distance(spine.length() / 2.0),
+        }
+    }
+
+    /// Axis-aligned bounding box of the shape.
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        match self {
+            RegionShape::Rect(r) => *r,
+            RegionShape::Corridor { spine, width } => {
+                Rect::bounding(spine.vertices().iter().copied())
+                    .expect("polyline has vertices")
+                    .inflated(width / 2.0)
+            }
+        }
+    }
+
+    /// Maps unit-square coordinates to a point inside the shape: rects use
+    /// `(u, v)` directly; corridors use `u` as arc-length fraction and `v`
+    /// as lateral offset.
+    #[must_use]
+    pub fn point_at_uv(&self, u: f64, v: f64) -> Point {
+        match self {
+            RegionShape::Rect(r) => r.point_at_uv(u, v),
+            RegionShape::Corridor { spine, width } => {
+                let s = u.clamp(0.0, 1.0) * spine.length();
+                let p = spine.point_at_distance(s);
+                // Lateral offset perpendicular to the local leg direction.
+                let eps = (spine.length() * 1e-3).max(1e-6);
+                let ahead = spine.point_at_distance((s + eps).min(spine.length()));
+                let behind = spine.point_at_distance((s - eps).max(0.0));
+                let dir = (ahead - behind).normalized();
+                match dir {
+                    Some(d) => {
+                        let lateral = (v.clamp(0.0, 1.0) - 0.5) * width;
+                        p + d.perpendicular() * lateral
+                    }
+                    None => p,
+                }
+            }
+        }
+    }
+}
+
+/// A named campus region.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use mobigrid_campus::{Region, RegionId, RegionKind};
+/// use mobigrid_geo::{Point, Rect};
+///
+/// let footprint = Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 40.0))?;
+/// let b1 = Region::building(RegionId::from_index(0), "B1", footprint);
+/// assert!(b1.contains(Point::new(30.0, 20.0)));
+/// assert_eq!(b1.kind(), RegionKind::Building);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    id: RegionId,
+    name: String,
+    kind: RegionKind,
+    shape: RegionShape,
+}
+
+impl Region {
+    /// Creates a rectangular building region.
+    #[must_use]
+    pub fn building(id: RegionId, name: impl Into<String>, footprint: Rect) -> Self {
+        Region {
+            id,
+            name: name.into(),
+            kind: RegionKind::Building,
+            shape: RegionShape::Rect(footprint),
+        }
+    }
+
+    /// Creates a road region as a corridor around `spine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampusError::InvalidCorridorWidth`] for non-positive widths.
+    pub fn road(
+        id: RegionId,
+        name: impl Into<String>,
+        spine: Polyline,
+        width: f64,
+    ) -> Result<Self, CampusError> {
+        if !width.is_finite() || width <= 0.0 {
+            return Err(CampusError::InvalidCorridorWidth);
+        }
+        Ok(Region {
+            id,
+            name: name.into(),
+            kind: RegionKind::Road,
+            shape: RegionShape::Corridor { spine, width },
+        })
+    }
+
+    /// The region's id within its campus.
+    #[must_use]
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The region's name (e.g. `"B4"` or `"R2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Building or road.
+    #[must_use]
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// The region's footprint.
+    #[must_use]
+    pub fn shape(&self) -> &RegionShape {
+        &self.shape
+    }
+
+    /// Returns `true` when `p` lies within the region.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.shape.contains(p)
+    }
+
+    /// A representative interior point.
+    #[must_use]
+    pub fn anchor(&self) -> Point {
+        self.shape.anchor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 40.0)).unwrap()
+    }
+
+    fn spine() -> Polyline {
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn building_contains_interior() {
+        let b = Region::building(RegionId::from_index(0), "B1", rect());
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(!b.contains(Point::new(61.0, 1.0)));
+        assert_eq!(b.anchor(), Point::new(30.0, 20.0));
+    }
+
+    #[test]
+    fn corridor_contains_points_within_half_width() {
+        let r = Region::road(RegionId::from_index(1), "R1", spine(), 8.0).unwrap();
+        assert!(r.contains(Point::new(50.0, 3.9)));
+        assert!(r.contains(Point::new(50.0, -4.0)));
+        assert!(!r.contains(Point::new(50.0, 4.1)));
+        assert_eq!(r.kind(), RegionKind::Road);
+    }
+
+    #[test]
+    fn corridor_rejects_bad_width() {
+        assert_eq!(
+            Region::road(RegionId::from_index(1), "R1", spine(), 0.0),
+            Err(CampusError::InvalidCorridorWidth)
+        );
+    }
+
+    #[test]
+    fn corridor_anchor_is_midpoint() {
+        let r = Region::road(RegionId::from_index(1), "R1", spine(), 8.0).unwrap();
+        assert_eq!(r.anchor(), Point::new(50.0, 0.0));
+    }
+
+    #[test]
+    fn corridor_bounding_box_includes_width() {
+        let r = Region::road(RegionId::from_index(1), "R1", spine(), 8.0).unwrap();
+        let bb = r.shape().bounding_box();
+        assert!(bb.contains(Point::new(0.0, 4.0)));
+        assert!(bb.contains(Point::new(100.0, -4.0)));
+    }
+
+    #[test]
+    fn uv_sampling_stays_inside_shape() {
+        let b = Region::building(RegionId::from_index(0), "B1", rect());
+        let r = Region::road(RegionId::from_index(1), "R1", spine(), 8.0).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (u, v) = (f64::from(i) / 9.0, f64::from(j) / 9.0);
+                assert!(b.contains(b.shape().point_at_uv(u, v)));
+                assert!(r.contains(r.shape().point_at_uv(u, v)), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_id_round_trips() {
+        let id = RegionId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "region#7");
+    }
+}

@@ -1,0 +1,49 @@
+/// Euclidean distance between two equal-length feature vectors.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let d = mobigrid_cluster::euclidean(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert_eq!(d, 5.0);
+/// ```
+#[must_use]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "feature vectors must share dimension");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert_eq!(euclidean(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_is_abs_difference() {
+        assert_eq!(euclidean(&[3.0], &[-1.0]), 4.0);
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let a = [1.0, -2.0];
+        let b = [4.5, 3.0];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimension")]
+    fn mismatched_dimensions_panic() {
+        let _ = euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

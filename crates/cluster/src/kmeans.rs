@@ -1,0 +1,186 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{euclidean, Clustering};
+
+/// Lloyd's k-means, the fixed-k baseline for the clustering ablation.
+///
+/// Sequential clustering (the paper's choice) discovers the cluster count
+/// from the similarity bound α; k-means instead requires `k` up front but
+/// produces tighter clusters. The ablation bench compares the distance-filter
+/// effectiveness under both.
+///
+/// Initialisation samples `k` distinct items as seeds using the supplied RNG,
+/// so results are reproducible from a seed. Runs at most `max_iters`
+/// Lloyd iterations or until assignments stabilise. Empty clusters are
+/// re-seeded with the item farthest from its centroid.
+///
+/// # Panics
+///
+/// Panics when `k` is zero or exceeds the number of items, or when items have
+/// inconsistent dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let items = vec![vec![0.0], vec![0.2], vec![10.0], vec![10.1]];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let c = mobigrid_cluster::kmeans(&items, 2, 50, &mut rng);
+/// assert_eq!(c.cluster_count(), 2);
+/// assert_eq!(c.assignment(0), c.assignment(1));
+/// assert_ne!(c.assignment(0), c.assignment(2));
+/// ```
+#[must_use]
+pub fn kmeans<R: Rng>(items: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut R) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= items.len(), "k must not exceed item count");
+
+    // Seed with k distinct items.
+    let mut indices: Vec<usize> = (0..items.len()).collect();
+    indices.shuffle(rng);
+    let mut centroids: Vec<Vec<f64>> = indices[..k].iter().map(|&i| items[i].clone()).collect();
+
+    let mut assignments = vec![0usize; items.len()];
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, item) in items.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (c, euclidean(item, centroid)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1")
+                .0;
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        let dim = items[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (item, &a) in items.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(item) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fitting item.
+                let far = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| (i, euclidean(item, &centroids[assignments[i]])))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .expect("non-empty items")
+                    .0;
+                centroids[c] = items[far].clone();
+                assignments[far] = c;
+                changed = true;
+            } else {
+                for (cc, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cc = s / counts[c] as f64;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Final assignment pass so the returned assignments are consistent with
+    // the returned centroids even when the loop exited at max_iters or after
+    // an empty-cluster re-seed.
+    for (i, item) in items.iter().enumerate() {
+        assignments[i] = centroids
+            .iter()
+            .enumerate()
+            .map(|(c, centroid)| (c, euclidean(item, centroid)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("k >= 1")
+            .0;
+    }
+
+    Clustering::new(assignments, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut items = Vec::new();
+        for i in 0..10 {
+            items.push(vec![f64::from(i) * 0.01]);
+            items.push(vec![100.0 + f64::from(i) * 0.01]);
+        }
+        let c = kmeans(&items, 2, 100, &mut rng());
+        // All even indices together, all odd indices together.
+        let a0 = c.assignment(0);
+        let a1 = c.assignment(1);
+        assert_ne!(a0, a1);
+        for i in 0..10 {
+            assert_eq!(c.assignment(2 * i), a0);
+            assert_eq!(c.assignment(2 * i + 1), a1);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let items = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let c = kmeans(&items, 3, 10, &mut rng());
+        assert_eq!(c.cluster_count(), 3);
+        for cl in 0..3 {
+            assert_eq!(c.size(cl), 1);
+        }
+    }
+
+    #[test]
+    fn k_one_centroid_is_global_mean() {
+        let items = vec![vec![1.0], vec![3.0], vec![8.0]];
+        let c = kmeans(&items, 1, 10, &mut rng());
+        assert!((c.centroid(0)[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let items: Vec<Vec<f64>> = (0..20).map(|i| vec![f64::from(i % 7)]).collect();
+        let a = kmeans(&items, 3, 50, &mut StdRng::seed_from_u64(9));
+        let b = kmeans(&items, 3, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed item count")]
+    fn k_greater_than_n_panics() {
+        let _ = kmeans(&[vec![1.0]], 2, 10, &mut rng());
+    }
+
+    #[test]
+    fn kmeans_distortion_not_worse_than_bsas_much() {
+        // Sanity: on well-separated blobs both methods find the structure.
+        let mut items = Vec::new();
+        for i in 0..15 {
+            items.push(vec![f64::from(i) * 0.05]);
+            items.push(vec![50.0 + f64::from(i) * 0.05]);
+        }
+        let km = kmeans(&items, 2, 100, &mut rng());
+        let bs = crate::Bsas::new(5.0).cluster(&items);
+        assert_eq!(km.cluster_count(), bs.cluster_count());
+        assert!(km.mean_distortion(&items) <= bs.mean_distortion(&items) + 1e-9);
+    }
+}

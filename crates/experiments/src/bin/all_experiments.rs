@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+
+mod common;
+
+use mobigrid_experiments::{campaign, fig4, fig5, fig6, fig7, fig89, table1};
+
+fn main() {
+    let cfg = common::config_from_args();
+    println!(
+        "== Reproduction run: seed {} / {} ticks ==\n",
+        cfg.seed, cfg.duration_ticks
+    );
+
+    println!("{}", table1::compute());
+
+    let data = campaign::run_campaign(&cfg);
+    println!("{}", fig4::compute(&data));
+    println!("{}", fig5::compute(&data));
+    println!("{}", fig6::compute(&data));
+    println!("{}", fig7::compute(&data));
+    println!("{}", fig89::compute(&data));
+
+    println!(
+        "network accounting (ideal run): {} messages / {} bytes",
+        data.ideal.network_messages, data.ideal.network_bytes
+    );
+    for (factor, run) in &data.adf {
+        println!(
+            "network accounting (adf {factor:.2}av): {} messages / {} bytes",
+            run.network_messages, run.network_bytes
+        );
+    }
+}

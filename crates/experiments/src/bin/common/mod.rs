@@ -1,0 +1,50 @@
+//! Shared CLI handling for the experiment binaries.
+//!
+//! Usage: `<bin> [--ticks N] [--seed S] [--csv]` — defaults to the paper's
+//! 1800 s run with seed 42 and human-readable text output.
+
+use mobigrid_experiments::config::ExperimentConfig;
+
+/// Parsed command line: the experiment configuration plus output options.
+/// (Not every binary reads every field; each binary compiles this module
+/// independently.)
+#[allow(dead_code)]
+pub struct Cli {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// Emit machine-readable CSV instead of the text report.
+    pub csv: bool,
+}
+
+/// Parses `--ticks`, `--seed` and `--csv` from the process arguments.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on malformed arguments.
+#[must_use]
+pub fn parse_cli() -> Cli {
+    let mut config = ExperimentConfig::default();
+    let mut csv = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("usage: {name} <integer>"))
+        };
+        match flag.as_str() {
+            "--ticks" => config.duration_ticks = take("--ticks"),
+            "--seed" => config.seed = take("--seed"),
+            "--csv" => csv = true,
+            other => panic!("unknown flag {other}; usage: [--ticks N] [--seed S] [--csv]"),
+        }
+    }
+    Cli { config, csv }
+}
+
+/// Backwards-compatible helper for binaries that only need the config.
+#[allow(dead_code)]
+#[must_use]
+pub fn config_from_args() -> ExperimentConfig {
+    parse_cli().config
+}

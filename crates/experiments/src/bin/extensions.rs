@@ -1,0 +1,11 @@
+//! Runs the extension experiments: energy saving and outage resilience.
+
+mod common;
+
+use mobigrid_experiments::extensions;
+
+fn main() {
+    let cfg = common::config_from_args();
+    println!("{}", extensions::energy_extension(&cfg));
+    println!("{}", extensions::outage_resilience(&cfg));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 6 (LU transmission rate by region).
+//!
+//! Pass `--csv` for machine-readable output.
+
+mod common;
+
+use mobigrid_experiments::{campaign, fig6};
+
+fn main() {
+    let cli = common::parse_cli();
+    let data = campaign::run_campaign(&cli.config);
+    let fig = fig6::compute(&data);
+    if cli.csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{fig}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 7 (RMSE with and without location estimation).
+//!
+//! Pass `--csv` for machine-readable output.
+
+mod common;
+
+use mobigrid_experiments::{campaign, fig7};
+
+fn main() {
+    let cli = common::parse_cli();
+    let data = campaign::run_campaign(&cli.config);
+    let fig = fig7::compute(&data);
+    if cli.csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{fig}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Inter-update interval analysis: gap distributions per mobility pattern
+//! at each DTH factor.
+
+mod common;
+
+use mobigrid_experiments::intervals;
+
+fn main() {
+    let cfg = common::config_from_args();
+    for factor in cfg.dth_factors.clone() {
+        println!("{}", intervals::measure_intervals(&cfg, factor));
+    }
+}

@@ -1,0 +1,15 @@
+//! Scalability sweep: the ADF on grid cities of growing size.
+
+mod common;
+
+use mobigrid_experiments::scalability;
+
+fn main() {
+    let mut cfg = common::config_from_args();
+    // Full 1800-tick runs at 900+ nodes take a while; trim the default.
+    if cfg.duration_ticks == 1800 {
+        cfg.duration_ticks = 300;
+    }
+    let sizes = [(1, 1), (2, 2), (3, 3), (5, 5)];
+    println!("{}", scalability::sweep_city_sizes(&cfg, &sizes));
+}

@@ -1,0 +1,12 @@
+//! Seed-sweep robustness check: repeats the campaign over several seeds and
+//! reports mean ± std of every headline metric.
+
+mod common;
+
+use mobigrid_experiments::robustness;
+
+fn main() {
+    let cfg = common::config_from_args();
+    let seeds: Vec<u64> = (1..=5).map(|i| cfg.seed.wrapping_add(i)).collect();
+    println!("{}", robustness::sweep_seeds(&cfg, &seeds));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (the mobile-node specification).
+
+fn main() {
+    println!("{}", mobigrid_experiments::table1::compute());
+}

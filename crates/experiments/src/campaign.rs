@@ -1,0 +1,223 @@
+//! Runs the full evaluation campaign once and shares the raw data with
+//! every figure module.
+
+use mobigrid_adf::{
+    AdaptiveDistanceFilter, AdfConfig, FilterPolicy, GeneralDistanceFilter, IdealPolicy,
+    MobileGridSim, RegionTally, SimBuilder, TickStats,
+};
+use mobigrid_campus::Campus;
+
+use crate::config::ExperimentConfig;
+use crate::workload;
+
+/// Which filter policy a run evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicySpec {
+    /// The unfiltered baseline ("ideal LU").
+    Ideal,
+    /// The non-adaptive distance filter at the given DTH factor.
+    GeneralDf(f64),
+    /// The adaptive distance filter at the given DTH factor.
+    Adf(f64),
+}
+
+impl PolicySpec {
+    /// A short label for reports (e.g. `"adf-1.00av"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Ideal => "ideal".to_string(),
+            PolicySpec::GeneralDf(f) => format!("df-{f:.2}av"),
+            PolicySpec::Adf(f) => format!("adf-{f:.2}av"),
+        }
+    }
+}
+
+/// The raw outcome of one policy run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The policy's report label.
+    pub label: String,
+    /// Per-tick statistics, one entry per simulated second.
+    pub ticks: Vec<TickStats>,
+    /// Whole-run tallies per region kind.
+    pub cumulative: RegionTally,
+    /// Messages carried by the access network (0 when detached).
+    pub network_messages: u64,
+    /// Bytes carried by the access network (0 when detached).
+    pub network_bytes: u64,
+}
+
+impl RunResult {
+    /// Mean transmitted LUs per second over the run.
+    #[must_use]
+    pub fn mean_lu_per_sec(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        self.ticks.iter().map(|t| f64::from(t.sent)).sum::<f64>() / self.ticks.len() as f64
+    }
+
+    /// Total LUs transmitted over the run.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.ticks.iter().map(|t| u64::from(t.sent)).sum()
+    }
+
+    /// Mean RMSE over the run, with and without the location estimator.
+    #[must_use]
+    pub fn mean_rmse(&self) -> (f64, f64) {
+        if self.ticks.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.ticks.len() as f64;
+        let with = self.ticks.iter().map(|t| t.rmse_with_le).sum::<f64>() / n;
+        let without = self.ticks.iter().map(|t| t.rmse_without_le).sum::<f64>() / n;
+        (with, without)
+    }
+}
+
+fn build_sim(cfg: &ExperimentConfig, campus: &Campus, spec: PolicySpec) -> MobileGridSim {
+    let nodes = workload::generate_population(campus, cfg.seed);
+    let builder = SimBuilder::new().nodes(nodes).estimator(cfg.estimator);
+    let builder = if cfg.with_network {
+        builder.network(workload::default_network(campus))
+    } else {
+        builder
+    };
+    let with_policy = |b: SimBuilder, p: Box<dyn FilterPolicy + Send>| -> MobileGridSim {
+        b.policy(p).build().expect("validated configuration")
+    };
+    match spec {
+        PolicySpec::Ideal => with_policy(builder, Box::new(IdealPolicy::new())),
+        PolicySpec::GeneralDf(factor) => with_policy(
+            builder,
+            Box::new(GeneralDistanceFilter::new(factor, cfg.adf.warmup_ticks)),
+        ),
+        PolicySpec::Adf(factor) => {
+            let adf_cfg = AdfConfig {
+                dth_factor: factor,
+                ..cfg.adf
+            };
+            with_policy(
+                builder,
+                Box::new(AdaptiveDistanceFilter::new(adf_cfg).expect("validated configuration")),
+            )
+        }
+    }
+}
+
+/// Runs a single policy over the full workload.
+#[must_use]
+pub fn run_policy(cfg: &ExperimentConfig, spec: PolicySpec) -> RunResult {
+    let campus = Campus::inha_like();
+    let mut sim = build_sim(cfg, &campus, spec);
+    let ticks = sim.run(cfg.duration_ticks);
+    let (network_messages, network_bytes) = sim
+        .network()
+        .map_or((0, 0), |n| (n.meter().messages(), n.meter().bytes()));
+    RunResult {
+        label: spec.label(),
+        ticks,
+        cumulative: sim.cumulative_tally(),
+        network_messages,
+        network_bytes,
+    }
+}
+
+/// All the data the figures need: one ideal run plus one ADF run per DTH
+/// factor.
+#[derive(Debug, Clone)]
+pub struct CampaignData {
+    /// The configuration that produced this data.
+    pub config: ExperimentConfig,
+    /// The unfiltered baseline run.
+    pub ideal: RunResult,
+    /// One ADF run per configured DTH factor, in `dth_factors` order.
+    pub adf: Vec<(f64, RunResult)>,
+}
+
+/// Runs the ideal baseline and every configured ADF factor.
+#[must_use]
+pub fn run_campaign(cfg: &ExperimentConfig) -> CampaignData {
+    let ideal = run_policy(cfg, PolicySpec::Ideal);
+    let adf = cfg
+        .dth_factors
+        .iter()
+        .map(|&f| (f, run_policy(cfg, PolicySpec::Adf(f))))
+        .collect();
+    CampaignData {
+        config: cfg.clone(),
+        ideal,
+        adf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            duration_ticks: 90,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn ideal_run_sends_everything() {
+        let r = run_policy(&quick(), PolicySpec::Ideal);
+        assert_eq!(r.total_sent(), 90 * 140);
+        assert_eq!(r.network_messages, 90 * 140);
+        assert!((r.mean_lu_per_sec() - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adf_reduces_traffic_monotonically_in_factor() {
+        let data = crate::test_support::shared_campaign();
+        let ideal = data.ideal.total_sent();
+        let mut last = ideal;
+        for (f, run) in &data.adf {
+            let sent = run.total_sent();
+            assert!(sent < ideal, "factor {f} did not reduce traffic");
+            assert!(
+                sent <= last,
+                "traffic not monotone: factor {f} sent {sent} > previous {last}"
+            );
+            last = sent;
+        }
+    }
+
+    #[test]
+    fn general_df_also_reduces_but_policy_labels_differ() {
+        let cfg = quick();
+        let df = run_policy(&cfg, PolicySpec::GeneralDf(1.0));
+        assert!(df.total_sent() < 90 * 140);
+        assert_eq!(df.label, "df-1.00av");
+        assert_eq!(PolicySpec::Adf(0.75).label(), "adf-0.75av");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = quick();
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.ideal.total_sent(), b.ideal.total_sent());
+        for ((_, x), (_, y)) in a.adf.iter().zip(&b.adf) {
+            assert_eq!(x.total_sent(), y.total_sent());
+            assert_eq!(x.mean_rmse(), y.mean_rmse());
+        }
+    }
+
+    #[test]
+    fn le_reduces_error_for_adf_runs() {
+        let data = crate::test_support::shared_campaign();
+        for (factor, run) in &data.adf {
+            let (with, without) = run.mean_rmse();
+            assert!(
+                with < without,
+                "estimator did not help at {factor}: with={with} without={without}"
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Experiment configuration with the paper's defaults.
+
+use mobigrid_adf::{AdfConfig, EstimatorKind};
+
+/// Knobs for one evaluation campaign. Defaults reproduce §4: 140 nodes,
+/// 1800 s at 1 s ticks, DTH factors {0.75, 1.0, 1.25}, Brown location
+/// estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Master seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Number of 1 s ticks (the paper: 1800).
+    pub duration_ticks: u64,
+    /// DTH factors to evaluate (the paper: 0.75, 1.0, 1.25 × av).
+    pub dth_factors: Vec<f64>,
+    /// Base ADF configuration; `dth_factor` is overwritten per run.
+    pub adf: AdfConfig,
+    /// The "with LE" broker's estimator.
+    pub estimator: EstimatorKind,
+    /// Attach the wireless access network for traffic accounting.
+    pub with_network: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            duration_ticks: 1800,
+            dth_factors: vec![0.75, 1.0, 1.25],
+            adf: AdfConfig::new(1.0),
+            estimator: EstimatorKind::Brown { alpha: 0.5 },
+            with_network: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A shortened configuration for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            duration_ticks: 120,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.duration_ticks, 1800);
+        assert_eq!(c.dth_factors, vec![0.75, 1.0, 1.25]);
+    }
+
+    #[test]
+    fn quick_is_shorter() {
+        assert!(ExperimentConfig::quick().duration_ticks < 1800);
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 4 — the number of transmitted LUs per second, ideal vs ADF at
+//! each DTH size.
+//!
+//! Paper's result: 135 LU/s ideal; 94 / 63 / 31 LU/s at DTH 0.75 av /
+//! 1.0 av / 1.25 av (30.5 % / 53.4 % / 76.7 % reduction). We reproduce the
+//! *shape*: ADF tracks ideal until the initial clustering, then drops, and
+//! larger factors drop further.
+
+use std::fmt;
+
+use crate::campaign::CampaignData;
+use crate::report;
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4 {
+    /// Per-run LU/s series: `(label, samples)` with ideal first.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Mean LU/s per run, ideal first.
+    pub mean_lu_per_sec: Vec<(String, f64)>,
+    /// Percent reduction vs ideal (ideal row is 0).
+    pub reduction_pct: Vec<(String, f64)>,
+}
+
+/// Derives the figure from campaign data.
+#[must_use]
+pub fn compute(data: &CampaignData) -> Fig4 {
+    let mut series = Vec::new();
+    let mut mean = Vec::new();
+    let mut reduction = Vec::new();
+
+    let runs = std::iter::once(&data.ideal).chain(data.adf.iter().map(|(_, r)| r));
+    let ideal_mean = data.ideal.mean_lu_per_sec();
+    for run in runs {
+        let samples: Vec<(f64, f64)> = run
+            .ticks
+            .iter()
+            .map(|t| (t.time_s, f64::from(t.sent)))
+            .collect();
+        let m = run.mean_lu_per_sec();
+        series.push((run.label.clone(), samples));
+        mean.push((run.label.clone(), m));
+        let red = if ideal_mean > 0.0 {
+            100.0 * (1.0 - m / ideal_mean)
+        } else {
+            0.0
+        };
+        reduction.push((run.label.clone(), red));
+    }
+    Fig4 {
+        series,
+        mean_lu_per_sec: mean,
+        reduction_pct: reduction,
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4. Transmitted LUs per second")?;
+        let rows: Vec<Vec<String>> = self
+            .mean_lu_per_sec
+            .iter()
+            .zip(&self.reduction_pct)
+            .map(|((label, m), (_, r))| vec![label.clone(), format!("{m:.1}"), format!("{r:.2}%")])
+            .collect();
+        let table = report::text_table(&["policy", "mean LU/s", "reduction vs ideal"], &rows);
+        writeln!(f, "{table}")?;
+        for (label, samples) in &self.series {
+            write!(f, "{}", report::ascii_chart(label, samples, 60, 8))?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig4 {
+    /// The per-second LU series as CSV: `time_s` plus one column per policy.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        crate::report::multi_series_csv(&self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn data() -> &'static CampaignData {
+        shared_campaign()
+    }
+
+    #[test]
+    fn ideal_first_and_reductions_increase_with_factor() {
+        let fig = compute(data());
+        assert_eq!(fig.mean_lu_per_sec[0].0, "ideal");
+        assert!((fig.reduction_pct[0].1).abs() < 1e-9);
+        let reductions: Vec<f64> = fig.reduction_pct[1..].iter().map(|r| r.1).collect();
+        for w in reductions.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1.0,
+                "reductions not monotone: {reductions:?}"
+            );
+        }
+        assert!(
+            *reductions.last().unwrap() > 20.0,
+            "1.25av reduced only {:.1}%",
+            reductions.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn adf_tracks_ideal_before_initial_clustering() {
+        let d = data();
+        let fig = compute(d);
+        let warmup = d.config.adf.warmup_ticks as usize;
+        let ideal = &fig.series[0].1;
+        let adf = &fig.series[1].1;
+        for i in 0..warmup.saturating_sub(1) {
+            assert_eq!(ideal[i].1, adf[i].1, "tick {i} diverged during warmup");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = compute(data()).to_string();
+        assert!(text.contains("Figure 4"));
+        assert!(text.contains("ideal"));
+        assert!(text.contains("adf-1.25av"));
+    }
+
+    #[test]
+    fn csv_has_one_column_per_policy() {
+        let csv = compute(data()).to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header, "time_s,ideal,adf-0.75av,adf-1.00av,adf-1.25av");
+        assert_eq!(csv.lines().count(), 601); // header + one row per tick
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 5 — the number of accumulated LUs over the run.
+//!
+//! Paper's result: the ideal policy accumulates ~243k LUs over 1800 s; the
+//! ADF saves roughly 75k / 130k / 187k of them at DTH 0.75 av / 1.0 av /
+//! 1.25 av. We reproduce the shape: linear-ish growth with slope ordered
+//! ideal > 0.75 av > 1.0 av > 1.25 av.
+
+use std::fmt;
+
+use crate::campaign::CampaignData;
+use crate::report;
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// Per-run accumulated-LU series, ideal first.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Final accumulated totals per run, ideal first.
+    pub totals: Vec<(String, u64)>,
+    /// Updates saved vs ideal.
+    pub saved_vs_ideal: Vec<(String, u64)>,
+}
+
+/// Derives the figure from campaign data.
+#[must_use]
+pub fn compute(data: &CampaignData) -> Fig5 {
+    let mut series = Vec::new();
+    let mut totals = Vec::new();
+    let mut saved = Vec::new();
+    let ideal_total = data.ideal.total_sent();
+    for run in std::iter::once(&data.ideal).chain(data.adf.iter().map(|(_, r)| r)) {
+        let mut acc = 0.0;
+        let samples: Vec<(f64, f64)> = run
+            .ticks
+            .iter()
+            .map(|t| {
+                acc += f64::from(t.sent);
+                (t.time_s, acc)
+            })
+            .collect();
+        let total = run.total_sent();
+        series.push((run.label.clone(), samples));
+        totals.push((run.label.clone(), total));
+        saved.push((run.label.clone(), ideal_total.saturating_sub(total)));
+    }
+    Fig5 {
+        series,
+        totals,
+        saved_vs_ideal: saved,
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5. Accumulated LUs")?;
+        let rows: Vec<Vec<String>> = self
+            .totals
+            .iter()
+            .zip(&self.saved_vs_ideal)
+            .map(|((label, t), (_, s))| vec![label.clone(), t.to_string(), s.to_string()])
+            .collect();
+        let table = report::text_table(&["policy", "accumulated LUs", "saved vs ideal"], &rows);
+        writeln!(f, "{table}")
+    }
+}
+
+impl Fig5 {
+    /// The accumulated-LU series as CSV: `time_s` plus one column per
+    /// policy.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        crate::report::multi_series_csv(&self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn data() -> &'static CampaignData {
+        shared_campaign()
+    }
+
+    #[test]
+    fn accumulation_is_monotone_nondecreasing() {
+        let fig = compute(data());
+        for (label, samples) in &fig.series {
+            for w in samples.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{label} accumulation decreased");
+            }
+        }
+    }
+
+    #[test]
+    fn totals_match_series_endpoints_and_ordering() {
+        let fig = compute(data());
+        for ((_, total), (_, samples)) in fig.totals.iter().zip(&fig.series) {
+            assert_eq!(*total as f64, samples.last().unwrap().1);
+        }
+        // Savings grow with the DTH factor.
+        let savings: Vec<u64> = fig.saved_vs_ideal[1..].iter().map(|s| s.1).collect();
+        for w in savings.windows(2) {
+            assert!(w[1] >= w[0], "savings not monotone: {savings:?}");
+        }
+        assert_eq!(fig.saved_vs_ideal[0].1, 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = compute(data()).to_string();
+        assert!(text.contains("Figure 5"));
+        assert!(text.contains("saved vs ideal"));
+    }
+
+    #[test]
+    fn csv_is_monotone_in_each_column() {
+        let csv = compute(data()).to_csv();
+        let mut prev: Option<Vec<f64>> = None;
+        for line in csv.lines().skip(1) {
+            let vals: Vec<f64> = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse().unwrap())
+                .collect();
+            if let Some(p) = prev {
+                for (a, b) in p.iter().zip(&vals) {
+                    assert!(b >= a, "accumulation decreased in CSV");
+                }
+            }
+            prev = Some(vals);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 7 — RMSE of location error over time, with and without the
+//! broker's location estimator (LE), per DTH size.
+//!
+//! Paper's result: at every DTH the LE-assisted broker tracks nodes far
+//! better — the RMSE with LE is roughly 33–47 % of the RMSE without it. We
+//! reproduce the shape: error grows with the DTH factor, and LE cuts it
+//! substantially.
+
+use std::fmt;
+
+use crate::campaign::CampaignData;
+use crate::report;
+
+/// Error summary for one ADF factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRow {
+    /// DTH factor (× av).
+    pub factor: f64,
+    /// Mean RMSE over the run without LE, in metres.
+    pub rmse_without_le: f64,
+    /// Mean RMSE over the run with LE, in metres.
+    pub rmse_with_le: f64,
+}
+
+impl ErrorRow {
+    /// RMSE with LE as a percentage of RMSE without LE.
+    #[must_use]
+    pub fn le_ratio_pct(&self) -> f64 {
+        if self.rmse_without_le == 0.0 {
+            0.0
+        } else {
+            100.0 * self.rmse_with_le / self.rmse_without_le
+        }
+    }
+}
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// RMSE time series: `(label, samples)` — two per factor
+    /// (`…/no-le`, `…/le`).
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// One summary row per factor.
+    pub summary: Vec<ErrorRow>,
+}
+
+/// Derives the figure from campaign data.
+#[must_use]
+pub fn compute(data: &CampaignData) -> Fig7 {
+    let mut series = Vec::new();
+    let mut summary = Vec::new();
+    for (factor, run) in &data.adf {
+        let without: Vec<(f64, f64)> = run
+            .ticks
+            .iter()
+            .map(|t| (t.time_s, t.rmse_without_le))
+            .collect();
+        let with: Vec<(f64, f64)> = run
+            .ticks
+            .iter()
+            .map(|t| (t.time_s, t.rmse_with_le))
+            .collect();
+        series.push((format!("{}/no-le", run.label), without));
+        series.push((format!("{}/le", run.label), with));
+        let (with_mean, without_mean) = run.mean_rmse();
+        summary.push(ErrorRow {
+            factor: *factor,
+            rmse_without_le: without_mean,
+            rmse_with_le: with_mean,
+        });
+    }
+    Fig7 { series, summary }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7. RMSE of location error (metres)")?;
+        let rows: Vec<Vec<String>> = self
+            .summary
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.2}av", r.factor),
+                    format!("{:.3}", r.rmse_without_le),
+                    format!("{:.3}", r.rmse_with_le),
+                    format!("{:.1}%", r.le_ratio_pct()),
+                ]
+            })
+            .collect();
+        let table = report::text_table(
+            &["DTH", "RMSE w/o LE", "RMSE w/ LE", "w/LE as % of w/o"],
+            &rows,
+        );
+        writeln!(f, "{table}")?;
+        for (label, samples) in &self.series {
+            write!(f, "{}", report::ascii_chart(label, samples, 60, 6))?;
+        }
+        Ok(())
+    }
+}
+
+impl Fig7 {
+    /// The RMSE series as CSV: `time_s` plus two columns per factor
+    /// (`…/no-le`, `…/le`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        crate::report::multi_series_csv(&self.series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn fig() -> Fig7 {
+        compute(shared_campaign())
+    }
+
+    #[test]
+    fn le_reduces_error_at_every_factor() {
+        for row in fig().summary {
+            assert!(
+                row.rmse_with_le < row.rmse_without_le,
+                "LE did not help at {:.2}av: {row:?}",
+                row.factor
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_with_dth_factor() {
+        let f = fig();
+        for w in f.summary.windows(2) {
+            assert!(
+                w[1].rmse_without_le >= w[0].rmse_without_le * 0.9,
+                "error not growing with factor: {:?}",
+                f.summary
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_finite_and_nonnegative() {
+        for (_, samples) in &fig().series {
+            for (_, v) in samples {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let text = fig().to_string();
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("w/o LE"));
+    }
+
+    #[test]
+    fn csv_has_two_columns_per_factor() {
+        let csv = fig().to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(header.split(',').count(), 1 + 6); // time + 2 per factor
+        assert!(header.contains("adf-1.00av/le"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Figures 8 and 9 — RMSE of location error split by region type, without
+//! (Fig. 8) and with (Fig. 9) the location estimator.
+//!
+//! Paper's result: road nodes accumulate roughly 4.5× (without LE) to 4.7×
+//! (with LE) the building nodes' error — faster nodes travel farther between
+//! surviving updates. We reproduce the shape: road RMSE is a multiple of
+//! building RMSE under both brokers.
+
+use std::fmt;
+
+use crate::campaign::CampaignData;
+use crate::report;
+
+/// Per-kind error summary for one ADF factor under one broker arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindErrorRow {
+    /// DTH factor (× av).
+    pub factor: f64,
+    /// Mean road RMSE over the run, in metres.
+    pub road: f64,
+    /// Mean building RMSE over the run, in metres.
+    pub building: f64,
+}
+
+impl KindErrorRow {
+    /// Road error as a multiple of building error.
+    #[must_use]
+    pub fn road_to_building_ratio(&self) -> f64 {
+        if self.building == 0.0 {
+            f64::INFINITY
+        } else {
+            self.road / self.building
+        }
+    }
+}
+
+/// The computed pair of figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig89 {
+    /// Figure 8 rows: without the estimator.
+    pub without_le: Vec<KindErrorRow>,
+    /// Figure 9 rows: with the estimator.
+    pub with_le: Vec<KindErrorRow>,
+}
+
+/// Derives both figures from campaign data.
+#[must_use]
+pub fn compute(data: &CampaignData) -> Fig89 {
+    let mut without = Vec::new();
+    let mut with = Vec::new();
+    for (factor, run) in &data.adf {
+        let n = run.ticks.len().max(1) as f64;
+        let mean =
+            |get: fn(&mobigrid_adf::TickStats) -> f64| run.ticks.iter().map(get).sum::<f64>() / n;
+        without.push(KindErrorRow {
+            factor: *factor,
+            road: mean(|t| t.road_rmse_without_le),
+            building: mean(|t| t.building_rmse_without_le),
+        });
+        with.push(KindErrorRow {
+            factor: *factor,
+            road: mean(|t| t.road_rmse_with_le),
+            building: mean(|t| t.building_rmse_with_le),
+        });
+    }
+    Fig89 {
+        without_le: without,
+        with_le: with,
+    }
+}
+
+fn rows_for(rows: &[KindErrorRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}av", r.factor),
+                format!("{:.3}", r.road),
+                format!("{:.3}", r.building),
+                format!("{:.2}x", r.road_to_building_ratio()),
+            ]
+        })
+        .collect()
+}
+
+impl fmt::Display for Fig89 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8. RMSE by region, without LE (metres)")?;
+        let t8 = report::text_table(
+            &["DTH", "road", "building", "road/building"],
+            &rows_for(&self.without_le),
+        );
+        writeln!(f, "{t8}")?;
+        writeln!(f, "Figure 9. RMSE by region, with LE (metres)")?;
+        let t9 = report::text_table(
+            &["DTH", "road", "building", "road/building"],
+            &rows_for(&self.with_le),
+        );
+        writeln!(f, "{t9}")
+    }
+}
+
+impl Fig89 {
+    /// Both figures as one CSV: per-factor road/building RMSE for each
+    /// broker arm.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .without_le
+            .iter()
+            .zip(&self.with_le)
+            .map(|(wo, wi)| {
+                vec![
+                    format!("{:.2}", wo.factor),
+                    format!("{:.4}", wo.road),
+                    format!("{:.4}", wo.building),
+                    format!("{:.4}", wi.road),
+                    format!("{:.4}", wi.building),
+                ]
+            })
+            .collect();
+        crate::report::csv(
+            &[
+                "dth_factor",
+                "road_rmse_no_le",
+                "building_rmse_no_le",
+                "road_rmse_le",
+                "building_rmse_le",
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::shared_campaign;
+
+    fn fig() -> Fig89 {
+        compute(shared_campaign())
+    }
+
+    #[test]
+    fn roads_err_more_than_buildings() {
+        let f = fig();
+        for row in f.without_le.iter().chain(&f.with_le) {
+            assert!(
+                row.road > row.building,
+                "road error should dominate: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn road_error_is_a_clear_multiple_without_le() {
+        let f = fig();
+        for row in &f.without_le {
+            assert!(
+                row.road_to_building_ratio() > 1.5,
+                "ratio too small: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn le_reduces_both_kinds() {
+        let f = fig();
+        for (wo, wi) in f.without_le.iter().zip(&f.with_le) {
+            assert!(wi.road <= wo.road, "LE hurt road error: {wi:?} vs {wo:?}");
+            assert!(
+                wi.building <= wo.building * 1.05,
+                "LE hurt building error: {wi:?} vs {wo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders_both_figures() {
+        let text = fig().to_string();
+        assert!(text.contains("Figure 8"));
+        assert!(text.contains("Figure 9"));
+    }
+
+    #[test]
+    fn csv_pairs_both_broker_arms() {
+        let csv = fig().to_csv();
+        assert!(csv.starts_with("dth_factor,road_rmse_no_le"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Plain-text report formatting shared by the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table with a header row and a separator.
+///
+/// # Panics
+///
+/// Panics when a row's width differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// let t = mobigrid_experiments::report::text_table(
+///     &["policy", "LU/s"],
+///     &[vec!["ideal".into(), "140.0".into()]],
+/// );
+/// assert!(t.contains("policy"));
+/// assert!(t.contains("140.0"));
+/// ```
+#[must_use]
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match headers");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: Vec<&str>| {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let _ = write!(line, "{cell:<w$}", w = *w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    };
+    write_row(&mut out, headers.to_vec());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        write_row(&mut out, row.iter().map(String::as_str).collect());
+    }
+    out
+}
+
+/// Renders rows as CSV with a header line. Cells containing commas are
+/// quoted.
+#[must_use]
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn escape(cell: &str) -> String {
+        if cell.contains(',') || cell.contains('"') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+    }
+    out
+}
+
+/// Renders several aligned time series as CSV: a `time_s` column followed
+/// by one column per series. All series must share their time axis.
+///
+/// # Panics
+///
+/// Panics when the series disagree on length or timestamps.
+///
+/// # Examples
+///
+/// ```
+/// let csv = mobigrid_experiments::report::multi_series_csv(&[
+///     ("a".to_string(), vec![(1.0, 10.0), (2.0, 11.0)]),
+///     ("b".to_string(), vec![(1.0, 5.0), (2.0, 6.0)]),
+/// ]);
+/// assert!(csv.starts_with("time_s,a,b"));
+/// assert!(csv.contains("1.000,10.000,5.000"));
+/// ```
+#[must_use]
+pub fn multi_series_csv(series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let Some((_, first)) = series.first() else {
+        return "time_s\n".to_string();
+    };
+    for (name, samples) in series {
+        assert_eq!(
+            samples.len(),
+            first.len(),
+            "series {name} length differs from the first series"
+        );
+    }
+    let mut out = String::from("time_s");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for (i, (t, _)) in first.iter().enumerate() {
+        let _ = write!(out, "{t:.3}");
+        for (name, samples) in series {
+            assert!(
+                (samples[i].0 - t).abs() < 1e-9,
+                "series {name} timestamp mismatch at row {i}"
+            );
+            let _ = write!(out, ",{:.3}", samples[i].1);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a compact ASCII chart of a series (downsampled to `width`
+/// buckets, `height` rows), for eyeballing figure shapes in a terminal.
+#[must_use]
+pub fn ascii_chart(name: &str, samples: &[(f64, f64)], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "chart needs at least 2x2 cells");
+    if samples.is_empty() {
+        return format!("{name}: (no data)\n");
+    }
+    // Downsample by averaging into `width` buckets.
+    let bucket = (samples.len() as f64 / width as f64).max(1.0);
+    let mut values = Vec::with_capacity(width);
+    let mut idx = 0.0;
+    while (idx as usize) < samples.len() && values.len() < width {
+        let start = idx as usize;
+        let end = ((idx + bucket) as usize).min(samples.len()).max(start + 1);
+        let mean = samples[start..end].iter().map(|(_, v)| v).sum::<f64>() / (end - start) as f64;
+        values.push(mean);
+        idx += bucket;
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; values.len()]; height];
+    for (x, v) in values.iter().enumerate() {
+        let level = ((v - lo) / span * (height - 1) as f64).round() as usize;
+        let y = height - 1 - level;
+        grid[y][x] = '*';
+    }
+    let mut out = format!("{name}  [min {lo:.2}, max {hi:.2}]\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(values.len()));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = text_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let _ = text_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let c = csv(&["k", "v"], &[vec!["a,b".into(), "1".into()]]);
+        assert!(c.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn chart_renders_extremes() {
+        let samples: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let chart = ascii_chart("wave", &samples, 20, 5);
+        assert!(chart.contains("wave"));
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn chart_handles_empty_and_constant_series() {
+        assert!(ascii_chart("e", &[], 10, 4).contains("no data"));
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 5.0)).collect();
+        let chart = ascii_chart("flat", &flat, 10, 4);
+        assert!(chart.contains('*'));
+    }
+}

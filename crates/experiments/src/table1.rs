@@ -1,0 +1,78 @@
+//! Table 1 — specification of the mobile nodes used in the experiments.
+
+use std::fmt;
+
+use crate::report;
+use crate::workload::{self, SpecRow};
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// The specification rows.
+    pub rows: Vec<SpecRow>,
+}
+
+/// Builds the table from the workload specification.
+#[must_use]
+pub fn compute() -> Table1 {
+    Table1 {
+        rows: workload::table1_rows(),
+    }
+}
+
+impl Table1 {
+    /// Total node population.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.rows.iter().map(|r| r.count).sum()
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1. Specification of MN used in experiments")?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let vr = if r.velocity_range.0 == r.velocity_range.1 {
+                    format!("{} m/s", r.velocity_range.0)
+                } else {
+                    format!("{}~{} m/s", r.velocity_range.0, r.velocity_range.1)
+                };
+                vec![
+                    r.region_kind.to_string(),
+                    r.region_count.to_string(),
+                    r.pattern.to_string(),
+                    r.node_type.to_string(),
+                    r.count.to_string(),
+                    vr,
+                ]
+            })
+            .collect();
+        let table = report::text_table(
+            &["region", "#regions", "pattern", "type", "#MN", "velocity"],
+            &rows,
+        );
+        writeln!(f, "{table}")?;
+        writeln!(f, "total MNs: {}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_totals_140() {
+        assert_eq!(compute().total(), 140);
+    }
+
+    #[test]
+    fn report_mentions_patterns_and_total() {
+        let text = compute().to_string();
+        for needle in ["SS", "RMS", "LMS", "vehicle", "140", "4~10 m/s"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

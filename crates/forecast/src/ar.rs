@@ -1,0 +1,236 @@
+use std::collections::VecDeque;
+
+use crate::{lin::solve_linear_system, ForecastError, Forecaster};
+
+/// A sliding-window autoregressive model `AR(p)` fit by least squares.
+///
+/// `xₜ = c + φ₁xₜ₋₁ + … + φₚxₜ₋ₚ`, refit over the most recent `window`
+/// observations each time a forecast is requested. This is the "ARIMA-style"
+/// comparator the paper mentions and rejects: it *can* be more precise, but
+/// it "needs a massive dataset to estimate and it is hard to update
+/// parameters" (§3.3) — which is exactly what the sliding-window refits model.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_forecast::{AutoRegressive, Forecaster};
+///
+/// let mut ar = AutoRegressive::new(2, 64).unwrap();
+/// for t in 0..64 {
+///     ar.observe((0.3_f64 * t as f64).sin()); // sinusoid: an exact AR(2) process
+/// }
+/// let pred = ar.forecast(1.0).unwrap();
+/// assert!((pred - (0.3f64 * 64.0).sin()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoRegressive {
+    order: usize,
+    window: usize,
+    history: VecDeque<f64>,
+    count: u64,
+}
+
+impl AutoRegressive {
+    /// Creates an `AR(order)` model fit over a sliding `window` of
+    /// observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidOrder`] when `order` is zero or the
+    /// window is too small to fit `order + 1` coefficients
+    /// (`window < 2·order + 2`).
+    pub fn new(order: usize, window: usize) -> Result<Self, ForecastError> {
+        if order == 0 || window < 2 * order + 2 {
+            return Err(ForecastError::InvalidOrder { order });
+        }
+        Ok(AutoRegressive {
+            order,
+            window,
+            history: VecDeque::with_capacity(window),
+            count: 0,
+        })
+    }
+
+    /// The autoregressive order `p`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The sliding-window length.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Fits coefficients `[c, φ₁, …, φₚ]` over the current window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::NotEnoughData`] before `order + 2`
+    /// observations and [`ForecastError::SingularSystem`] for degenerate
+    /// windows (e.g. a constant series makes the design matrix rank
+    /// deficient; callers should fall back to a simpler estimator).
+    pub fn fit(&self) -> Result<Vec<f64>, ForecastError> {
+        let p = self.order;
+        let n = self.history.len();
+        if n < p + 2 {
+            return Err(ForecastError::NotEnoughData {
+                needed: p + 2,
+                got: n,
+            });
+        }
+        let xs: Vec<f64> = self.history.iter().copied().collect();
+        let rows = n - p;
+        let cols = p + 1; // intercept + p lags
+
+        // Normal equations: (XᵀX)·β = Xᵀy with X = [1, lag1..lagp].
+        let mut xtx = vec![vec![0.0; cols]; cols];
+        let mut xty = vec![0.0; cols];
+        for t in p..n {
+            let y = xs[t];
+            let mut row = Vec::with_capacity(cols);
+            row.push(1.0);
+            for lag in 1..=p {
+                row.push(xs[t - lag]);
+            }
+            for i in 0..cols {
+                xty[i] += row[i] * y;
+                for j in 0..cols {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let _ = rows;
+        solve_linear_system(&xtx, &xty)
+    }
+
+    fn predict_next(&self, coef: &[f64], recent: &[f64]) -> f64 {
+        let mut y = coef[0];
+        for (lag, phi) in coef[1..].iter().enumerate() {
+            y += phi * recent[recent.len() - 1 - lag];
+        }
+        y
+    }
+}
+
+impl Forecaster for AutoRegressive {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(value);
+    }
+
+    fn forecast(&self, horizon: f64) -> Option<f64> {
+        let coef = self.fit().ok()?;
+        let mut recent: Vec<f64> = self.history.iter().copied().collect();
+        // Iterate single-step predictions out to ceil(horizon) steps, then
+        // linearly interpolate the fractional remainder.
+        let steps = horizon.max(0.0).ceil() as usize;
+        if steps == 0 {
+            return recent.last().copied();
+        }
+        let mut prev = *recent.last()?;
+        let mut next = prev;
+        for _ in 0..steps {
+            prev = next;
+            next = self.predict_next(&coef, &recent);
+            recent.push(next);
+        }
+        let frac = horizon - (steps as f64 - 1.0);
+        Some(prev + (next - prev) * frac.clamp(0.0, 1.0))
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.count = 0;
+    }
+
+    fn observations(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_order_and_tiny_windows() {
+        assert!(AutoRegressive::new(0, 10).is_err());
+        assert!(AutoRegressive::new(3, 7).is_err()); // needs >= 8
+        assert!(AutoRegressive::new(3, 8).is_ok());
+    }
+
+    #[test]
+    fn not_enough_data_before_warmup() {
+        let mut ar = AutoRegressive::new(2, 16).unwrap();
+        ar.observe(1.0);
+        ar.observe(2.0);
+        assert!(matches!(ar.fit(), Err(ForecastError::NotEnoughData { .. })));
+        assert_eq!(ar.forecast(1.0), None);
+    }
+
+    #[test]
+    fn recovers_sinusoid_exactly() {
+        // sin(ωt) satisfies the AR(2) relation xt = 2cos(ω)·x(t−1) − x(t−2)
+        // with linearly independent lag columns, so least squares recovers
+        // it to machine precision. (A perfectly *linear* series is a
+        // degenerate fit — its lag columns are affinely dependent — which is
+        // covered by `constant_series_is_singular_but_safe` below.)
+        let mut ar = AutoRegressive::new(2, 32).unwrap();
+        for t in 0..32 {
+            ar.observe((0.3_f64 * t as f64).sin());
+        }
+        let pred = ar.forecast(1.0).unwrap();
+        let truth = (0.3_f64 * 32.0).sin();
+        assert!((pred - truth).abs() < 1e-6, "pred={pred} truth={truth}");
+    }
+
+    #[test]
+    fn multi_step_forecast_extends_sinusoid() {
+        let mut ar = AutoRegressive::new(2, 32).unwrap();
+        for t in 0..32 {
+            ar.observe((0.3_f64 * t as f64).sin());
+        }
+        let pred = ar.forecast(5.0).unwrap();
+        let truth = (0.3_f64 * 36.0).sin();
+        assert!((pred - truth).abs() < 1e-5, "pred={pred} truth={truth}");
+    }
+
+    #[test]
+    fn constant_series_is_singular_but_safe() {
+        let mut ar = AutoRegressive::new(2, 16).unwrap();
+        for _ in 0..16 {
+            ar.observe(5.0);
+        }
+        // The design matrix is rank-deficient; fit reports it rather than
+        // returning garbage, and forecast degrades to None.
+        assert_eq!(ar.fit(), Err(ForecastError::SingularSystem));
+        assert_eq!(ar.forecast(1.0), None);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut ar = AutoRegressive::new(1, 8).unwrap();
+        for t in 0..100 {
+            ar.observe(t as f64);
+        }
+        assert_eq!(ar.observations(), 100);
+        // Only the window is retained.
+        assert_eq!(ar.history.len(), 8);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut ar = AutoRegressive::new(1, 8).unwrap();
+        for t in 0..8 {
+            ar.observe(t as f64);
+        }
+        ar.reset();
+        assert_eq!(ar.observations(), 0);
+        assert_eq!(ar.forecast(1.0), None);
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or fitting forecasters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ForecastError {
+    /// A smoothing factor must lie in `(0, 1]`.
+    InvalidSmoothingFactor {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An autoregressive model needs a positive order.
+    InvalidOrder {
+        /// The rejected order.
+        order: usize,
+    },
+    /// The linear system arising in a least-squares fit was singular.
+    SingularSystem,
+    /// Not enough observations to fit the requested model.
+    NotEnoughData {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::InvalidSmoothingFactor { value } => {
+                write!(f, "smoothing factor must be in (0, 1], got {value}")
+            }
+            ForecastError::InvalidOrder { order } => {
+                write!(f, "autoregressive order must be positive, got {order}")
+            }
+            ForecastError::SingularSystem => write!(f, "least-squares system was singular"),
+            ForecastError::NotEnoughData { needed, got } => {
+                write!(f, "model needs {needed} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ForecastError::InvalidSmoothingFactor { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ForecastError>();
+    }
+}

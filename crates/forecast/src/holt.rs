@@ -1,0 +1,173 @@
+use crate::{ForecastError, Forecaster};
+
+/// Holt's linear-trend method (double exponential smoothing with separate
+/// level and trend factors).
+///
+/// Where [`BrownDouble`](crate::BrownDouble) ties both smoothings to one
+/// factor α, Holt's method smooths the level with α and the trend with an
+/// independent β:
+///
+/// ```text
+/// ℓₜ = α·xₜ + (1 − α)(ℓₜ₋₁ + bₜ₋₁)
+/// bₜ = β(ℓₜ − ℓₜ₋₁) + (1 − β)bₜ₋₁
+/// x̂ₜ₊ₕ = ℓₜ + h·bₜ
+/// ```
+///
+/// Included as an ablation alternative to the paper's estimator: with a
+/// sluggish trend factor it is more robust to the jittery velocities of
+/// random-movement nodes, at the cost of slower lock-on for road nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_forecast::{Forecaster, HoltLinear};
+///
+/// let mut holt = HoltLinear::new(0.8, 0.2).unwrap();
+/// for t in 0..100 {
+///     holt.observe(t as f64);
+/// }
+/// assert!((holt.forecast(1.0).unwrap() - 100.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+    count: u64,
+}
+
+impl HoltLinear {
+    /// Creates a smoother with level factor `alpha ∈ (0, 1]` and trend
+    /// factor `beta ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidSmoothingFactor`] when either factor
+    /// is outside `(0, 1]` or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ForecastError> {
+        for v in [alpha, beta] {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(ForecastError::InvalidSmoothingFactor { value: v });
+            }
+        }
+        Ok(HoltLinear {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+            count: 0,
+        })
+    }
+
+    /// The level smoothing factor.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The trend smoothing factor.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The current level estimate.
+    #[must_use]
+    pub fn level(&self) -> Option<f64> {
+        self.level
+    }
+
+    /// The current per-step trend estimate (zero before two observations).
+    #[must_use]
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        match self.level {
+            None => {
+                self.level = Some(value);
+                self.trend = 0.0;
+            }
+            Some(prev_level) => {
+                let level = self.alpha * value + (1.0 - self.alpha) * (prev_level + self.trend);
+                self.trend = self.beta * (level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(level);
+            }
+        }
+    }
+
+    fn forecast(&self, horizon: f64) -> Option<f64> {
+        Some(self.level? + horizon * self.trend)
+    }
+
+    fn reset(&mut self) {
+        self.level = None;
+        self.trend = 0.0;
+        self.count = 0;
+    }
+
+    fn observations(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_factors() {
+        assert!(HoltLinear::new(0.0, 0.5).is_err());
+        assert!(HoltLinear::new(0.5, 1.1).is_err());
+        assert!(HoltLinear::new(f64::INFINITY, 0.5).is_err());
+        assert!(HoltLinear::new(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn recurrence_matches_hand_computation() {
+        // alpha=0.5, beta=0.5; x=[10, 20]
+        // t1: level=10, trend=0
+        // t2: level=0.5*20+0.5*(10+0)=15 ; trend=0.5*(15-10)+0.5*0=2.5
+        let mut h = HoltLinear::new(0.5, 0.5).unwrap();
+        h.observe(10.0);
+        h.observe(20.0);
+        assert!((h.level().unwrap() - 15.0).abs() < 1e-12);
+        assert!((h.trend() - 2.5).abs() < 1e-12);
+        assert!((h.forecast(2.0).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locks_onto_linear_trend() {
+        let mut h = HoltLinear::new(0.6, 0.3).unwrap();
+        for t in 0..500 {
+            h.observe(-4.0 + 0.7 * t as f64);
+        }
+        assert!((h.trend() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_signal_zero_trend() {
+        let mut h = HoltLinear::new(0.5, 0.5).unwrap();
+        for _ in 0..100 {
+            h.observe(3.0);
+        }
+        assert!(h.trend().abs() < 1e-9);
+        assert!((h.forecast(50.0).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_reset_behaviour() {
+        let mut h = HoltLinear::new(0.5, 0.5).unwrap();
+        assert_eq!(h.forecast(1.0), None);
+        h.observe(1.0);
+        assert!(h.forecast(1.0).is_some());
+        h.reset();
+        assert_eq!(h.forecast(1.0), None);
+        assert_eq!(h.observations(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+use crate::ForecastError;
+
+/// Solves the dense linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting.
+///
+/// `a` is a row-major `n × n` matrix. Used by the autoregressive fitter to
+/// solve its normal equations; exposed publicly because the experiment
+/// harness reuses it for small least-squares fits.
+///
+/// # Errors
+///
+/// Returns [`ForecastError::SingularSystem`] when the matrix is singular (or
+/// numerically indistinguishable from singular).
+///
+/// # Panics
+///
+/// Panics when `a` is not `n × n` for `n = b.len()`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mobigrid_forecast::ForecastError> {
+/// // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+/// let x = mobigrid_forecast::solve_linear_system(
+///     &[vec![2.0, 1.0], vec![1.0, -1.0]],
+///     &[5.0, 1.0],
+/// )?;
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Result<Vec<f64>, ForecastError> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix must be square and match b");
+    for row in a {
+        assert_eq!(row.len(), n, "matrix must be square and match b");
+    }
+
+    // Augmented working copy.
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, rhs)| {
+            let mut r = row.clone();
+            r.push(*rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivot: bring the largest remaining entry into place.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty column range");
+        if m[pivot_row][col].abs() < 1e-12 {
+            return Err(ForecastError::SingularSystem);
+        }
+        m.swap(col, pivot_row);
+
+        for row in (col + 1)..n {
+            let factor = m[row][col] / m[col][col];
+            let (pivot_rows, rest) = m.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (cell, pivot_cell) in rest[0][col..=n].iter_mut().zip(&pivot[col..=n]) {
+                *cell -= factor * pivot_cell;
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in (row + 1)..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(&a, &[3.0, -7.0]).unwrap();
+        assert_eq!(x, vec![3.0, -7.0]);
+    }
+
+    #[test]
+    fn solves_3x3_system() {
+        // x + 2y + 3z = 14 ; 2x + y + z = 7 ; 3x - y + 2z = 7  => (1, 2, 3)
+        let a = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 1.0],
+            vec![3.0, -1.0, 2.0],
+        ];
+        let x = solve_linear_system(&a, &[14.0, 7.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!((x[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // First pivot position is zero; naive elimination would divide by 0.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear_system(&a, &[2.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(
+            solve_linear_system(&a, &[1.0, 2.0]),
+            Err(ForecastError::SingularSystem)
+        );
+    }
+
+    #[test]
+    fn solves_1x1() {
+        let x = solve_linear_system(&[vec![4.0]], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = solve_linear_system(&[vec![1.0, 2.0]], &[1.0]);
+    }
+}

@@ -1,0 +1,619 @@
+use mobigrid_geo::{Heading, Point, Vec2};
+
+use crate::{BrownDouble, ForecastError, Forecaster, SingleExponential};
+
+/// A 2-D position estimator: the broker-side component that answers "where is
+/// this node *now*" from the (filtered) stream of location updates it has
+/// seen.
+///
+/// Implementations receive timestamped observations via
+/// [`PositionEstimator::observe`] — one per location update that *reached*
+/// the broker — and extrapolate to any later time via
+/// [`PositionEstimator::estimate`].
+pub trait PositionEstimator {
+    /// Feeds a received location update.
+    ///
+    /// Observations must arrive in non-decreasing time order.
+    fn observe(&mut self, time_s: f64, position: Point);
+
+    /// Estimates the position at `time_s` (typically later than the last
+    /// observation), or `None` before any observation.
+    fn estimate(&self, time_s: f64) -> Option<Point>;
+
+    /// Supplies prior knowledge of where the node *lives* (e.g. the centre
+    /// of its registered home region). Estimators that maintain a
+    /// long-horizon anchor fold this in as a prior; the default ignores it.
+    fn set_home_anchor(&mut self, anchor: Point) {
+        let _ = anchor;
+    }
+
+    /// Forgets all state.
+    fn reset(&mut self);
+}
+
+/// The naive estimator: a node is wherever it last reported.
+///
+/// This is what a broker *without* a location estimator effectively does,
+/// and is the paper's "without LE" arm in Figures 7–9.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_forecast::{LastKnown, PositionEstimator};
+/// use mobigrid_geo::Point;
+///
+/// let mut lk = LastKnown::new();
+/// lk.observe(0.0, Point::new(1.0, 1.0));
+/// lk.observe(5.0, Point::new(9.0, 2.0));
+/// assert_eq!(lk.estimate(100.0), Some(Point::new(9.0, 2.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LastKnown {
+    last: Option<Point>,
+}
+
+impl LastKnown {
+    /// Creates an estimator with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        LastKnown::default()
+    }
+}
+
+impl PositionEstimator for LastKnown {
+    fn observe(&mut self, _time_s: f64, position: Point) {
+        self.last = Some(position);
+    }
+
+    fn estimate(&self, _time_s: f64) -> Option<Point> {
+        self.last
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Dead reckoning: extrapolates along the velocity between the last two
+/// observations.
+///
+/// Cheap and accurate for straight-line motion, but it never forgets a turn —
+/// a single noisy update sends the estimate off at full speed in the wrong
+/// direction. Included as the middle rung between [`LastKnown`] and the
+/// paper's smoothed estimator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeadReckoning {
+    last: Option<(f64, Point)>,
+    velocity: Vec2,
+}
+
+impl DeadReckoning {
+    /// Creates an estimator with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        DeadReckoning::default()
+    }
+}
+
+impl PositionEstimator for DeadReckoning {
+    fn observe(&mut self, time_s: f64, position: Point) {
+        if let Some((t0, p0)) = self.last {
+            let dt = time_s - t0;
+            if dt > 0.0 {
+                self.velocity = (position - p0) / dt;
+            }
+        }
+        self.last = Some((time_s, position));
+    }
+
+    fn estimate(&self, time_s: f64) -> Option<Point> {
+        let (t0, p0) = self.last?;
+        let dt = (time_s - t0).max(0.0);
+        Some(p0 + self.velocity * dt)
+    }
+
+    fn reset(&mut self) {
+        self.last = None;
+        self.velocity = Vec2::ZERO;
+    }
+}
+
+/// The paper's location estimator: Brown's double exponential smoothing over
+/// the node's **speed** and **direction**, advanced from the last reported
+/// coordinate by trigonometry (§3.3).
+///
+/// Direction is smoothed as a continuously *unwrapped* angle so that a node
+/// circling through 360° does not confuse the smoother at the 0/2π seam.
+/// When the node reports two identical positions (zero speed), the previous
+/// direction is retained rather than fabricating one.
+///
+/// Extrapolation is additionally scaled by a **direction-consistency gate**:
+/// an exponentially smoothed mean of the unit heading vectors, whose norm is
+/// ≈ 1 for a node walking steadily and ≈ 0 for one milling about at random.
+/// A destination-directed walker is extrapolated at full predicted speed,
+/// while a random mover degrades gracefully toward "hold the last reported
+/// position" — which is the best unbiased guess for confined random motion,
+/// and guarantees the estimator is never substantially worse than running no
+/// estimator at all. (The paper does not specify how its estimator avoids
+/// diverging on the 30 random-movement nodes; this gate is our resolution,
+/// documented in `DESIGN.md`.)
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_forecast::{BrownPositionEstimator, PositionEstimator};
+/// use mobigrid_geo::Point;
+///
+/// let mut est = BrownPositionEstimator::new(0.5).unwrap();
+/// // A node walking east at 2 m/s, reporting every second.
+/// for t in 0..20 {
+///     est.observe(t as f64, Point::new(2.0 * t as f64, 0.0));
+/// }
+/// let p = est.estimate(21.0).unwrap();
+/// assert!((p.x - 42.0).abs() < 1.0);
+/// assert!(p.y.abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrownPositionEstimator {
+    speed: BrownDouble,
+    direction: BrownDouble,
+    last: Option<(f64, Point)>,
+    unwrapped_heading: Option<f64>,
+    /// Smoothed mean of unit heading vectors; its norm is the
+    /// direction-consistency gate.
+    dir_mean: Option<Vec2>,
+    consistency_alpha: f64,
+    /// Time constant τ of the silence decay: extrapolated displacement
+    /// saturates at `v̂·τ` as dead time grows.
+    silence_tau_secs: f64,
+    /// Expected observation spacing; gaps meaningfully longer than this are
+    /// silences.
+    nominal_dt: f64,
+    /// Smoothed mean speed *across silences* (displacement ÷ gap for gaps
+    /// longer than `nominal_dt`). Extrapolation during a silence uses this
+    /// instead of the send-time speed: an update being filtered is evidence
+    /// the node slowed below its distance threshold, so the speed observed
+    /// while it was reporting every second overestimates its speed now.
+    silence_speed: SingleExponential,
+    /// Running mean of every observed position — the long-horizon anchor.
+    mean_pos: Point,
+    obs_count: u64,
+    /// Prior belief of where the node lives (its home region's centre),
+    /// folded into the anchor with [`Self::HOME_PRIOR_WEIGHT`]
+    /// pseudo-observations.
+    home_prior: Option<Point>,
+}
+
+impl BrownPositionEstimator {
+    /// Smoothing factor of the direction-consistency gate: deliberately
+    /// sluggish so a few chance-aligned random steps don't open the gate.
+    pub const DEFAULT_CONSISTENCY_ALPHA: f64 = 0.15;
+
+    /// Weight of the home-anchor prior, in pseudo-observations: a node that
+    /// has reported fewer than this many positions is anchored mostly by
+    /// its home region; a long-observed node by its own history.
+    pub const HOME_PRIOR_WEIGHT: f64 = 60.0;
+
+    /// Default silence time constant τ in seconds.
+    ///
+    /// Estimation is only invoked when an update was *filtered*, and under
+    /// the paper's distance filter a filtered second means the node moved
+    /// less than its threshold that second — silence is evidence of slow
+    /// movement. The extrapolated displacement therefore saturates:
+    /// `v̂·τ·(1 − e^(−Δt/τ))`, which is ≈ `v̂·Δt` for fresh gaps and at most
+    /// `v̂·τ` for long ones, rather than walking the node off the map at its
+    /// pre-silence speed.
+    pub const DEFAULT_SILENCE_TAU_SECS: f64 = 15.0;
+
+    /// Creates an estimator with smoothing factor `alpha ∈ (0, 1)` shared by
+    /// the speed and direction smoothers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidSmoothingFactor`] for invalid `alpha`.
+    pub fn new(alpha: f64) -> Result<Self, ForecastError> {
+        Ok(BrownPositionEstimator {
+            speed: BrownDouble::new(alpha)?,
+            direction: BrownDouble::new(alpha)?,
+            last: None,
+            unwrapped_heading: None,
+            dir_mean: None,
+            consistency_alpha: Self::DEFAULT_CONSISTENCY_ALPHA,
+            silence_tau_secs: Self::DEFAULT_SILENCE_TAU_SECS,
+            nominal_dt: 1.0,
+            silence_speed: SingleExponential::new(0.3).expect("valid constant"),
+            mean_pos: Point::ORIGIN,
+            obs_count: 0,
+            home_prior: None,
+        })
+    }
+
+    /// The blended long-horizon anchor: observation mean shrunk toward the
+    /// home prior (when one is set).
+    fn anchor(&self) -> Option<Point> {
+        let n = self.obs_count as f64;
+        match self.home_prior {
+            Some(prior) => {
+                let k = Self::HOME_PRIOR_WEIGHT;
+                let total = k + n;
+                Some(Point::new(
+                    (k * prior.x + n * self.mean_pos.x) / total,
+                    (k * prior.y + n * self.mean_pos.y) / total,
+                ))
+            }
+            None if self.obs_count >= 8 => Some(self.mean_pos),
+            None => None,
+        }
+    }
+
+    /// Overrides the expected observation spacing in seconds (default 1.0,
+    /// the campus experiments' tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `secs` is not strictly positive.
+    #[must_use]
+    pub fn with_nominal_dt(mut self, secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "nominal spacing must be positive"
+        );
+        self.nominal_dt = secs;
+        self
+    }
+
+    /// Overrides the silence time constant τ in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `secs` is not strictly positive.
+    #[must_use]
+    pub fn with_silence_tau(mut self, secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs > 0.0,
+            "silence time constant must be positive"
+        );
+        self.silence_tau_secs = secs;
+        self
+    }
+
+    /// Overrides the consistency-gate smoothing factor (must be in
+    /// `(0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::InvalidSmoothingFactor`] for values outside
+    /// `(0, 1]`.
+    pub fn with_consistency_alpha(mut self, alpha: f64) -> Result<Self, ForecastError> {
+        if !alpha.is_finite() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(ForecastError::InvalidSmoothingFactor { value: alpha });
+        }
+        self.consistency_alpha = alpha;
+        Ok(self)
+    }
+
+    /// The current direction-consistency gate in `[0, 1]`: ≈ 1 for steady
+    /// walkers, ≈ 0 for random movers.
+    #[must_use]
+    pub fn direction_consistency(&self) -> f64 {
+        self.dir_mean.map_or(0.0, |v| v.norm().clamp(0.0, 1.0))
+    }
+
+    /// The current smoothed speed estimate in m/s, if warmed up.
+    #[must_use]
+    pub fn speed_estimate(&self) -> Option<f64> {
+        self.speed.level().map(|v| v.max(0.0))
+    }
+
+    /// The current smoothed heading estimate, if warmed up.
+    #[must_use]
+    pub fn heading_estimate(&self) -> Option<Heading> {
+        self.direction.level().map(Heading::from_radians)
+    }
+}
+
+impl PositionEstimator for BrownPositionEstimator {
+    fn observe(&mut self, time_s: f64, position: Point) {
+        if let Some((t0, p0)) = self.last {
+            let dt = time_s - t0;
+            if dt > 0.0 {
+                let delta = position - p0;
+                let speed = delta.norm() / dt;
+                self.speed.observe(speed);
+                if dt > 1.5 * self.nominal_dt {
+                    // This update ends a silence: its mean speed is a
+                    // direct sample of how fast the node moves while its
+                    // updates are being filtered.
+                    self.silence_speed.observe(speed);
+                }
+
+                // Unwrap the heading so the smoother sees a continuous angle.
+                if let Some(h) = delta.heading() {
+                    // Manoeuvre detection: when the observed heading jumps
+                    // more than 90° away from the current direction
+                    // forecast, the node has turned (a crossroads, a road
+                    // end). Chasing the jump through the smoother would
+                    // leave the forecast pointing sideways for several
+                    // updates, so reset the direction state to the new
+                    // heading instead — the standard track-reset used by
+                    // manoeuvring-target filters.
+                    if let Some(forecast) = self.direction.forecast(0.0) {
+                        let predicted = Heading::from_radians(forecast);
+                        if predicted.angle_to(h) > std::f64::consts::FRAC_PI_2 {
+                            self.direction.reset();
+                            self.unwrapped_heading = None;
+                        }
+                    }
+                    let unwrapped = match self.unwrapped_heading {
+                        None => h.radians(),
+                        Some(prev) => {
+                            let prev_heading = Heading::from_radians(prev);
+                            prev + prev_heading.signed_angle_to(h)
+                        }
+                    };
+                    self.unwrapped_heading = Some(unwrapped);
+                    self.direction.observe(unwrapped);
+                    // Fold the unit heading into the consistency gate.
+                    let unit = h.unit_vector();
+                    let a = self.consistency_alpha;
+                    self.dir_mean = Some(match self.dir_mean {
+                        None => unit,
+                        Some(prev) => prev * (1.0 - a) + unit * a,
+                    });
+                } else if let Some(prev) = self.unwrapped_heading {
+                    // Stationary step: direction is unchanged.
+                    self.direction.observe(prev);
+                }
+            }
+        }
+        self.obs_count += 1;
+        let n = self.obs_count as f64;
+        self.mean_pos = Point::new(
+            self.mean_pos.x + (position.x - self.mean_pos.x) / n,
+            self.mean_pos.y + (position.y - self.mean_pos.y) / n,
+        );
+        self.last = Some((time_s, position));
+    }
+
+    fn estimate(&self, time_s: f64) -> Option<Point> {
+        let (t0, p0) = self.last?;
+        let dt = (time_s - t0).max(0.0);
+        let (Some(speed), Some(dir)) = (self.speed.forecast(1.0), self.direction.forecast(1.0))
+        else {
+            // Not warmed up (fewer than two observations): fall back to the
+            // last known coordinate, matching the broker's behaviour before
+            // a node has any motion history.
+            return Some(p0);
+        };
+        let speed = speed.max(0.0);
+        // Once a silence is in progress (estimation *is* the silent case),
+        // the learned silence speed is the better predictor; bound it by
+        // the send-time speed so a single long-gap outlier cannot inflate
+        // it.
+        let speed = match self.silence_speed.forecast(0.0) {
+            Some(s) => s.clamp(0.0, speed.max(0.0)).min(speed),
+            None => speed,
+        };
+        let heading = Heading::from_radians(dir);
+        // Silence decay: ≈ dt while the gap is fresh, saturating at τ.
+        let tau = self.silence_tau_secs;
+        let effective_dt = tau * (1.0 - (-dt / tau).exp());
+        // The gate squares so that half-coherent motion extrapolates only a
+        // quarter of the way — conservative by design.
+        let gate = self.direction_consistency().powi(2);
+        let linear = p0 + Vec2::from_polar(speed * effective_dt * gate, heading);
+
+        // Long-horizon blend: once the last report is several τ stale, no
+        // trajectory extrapolation is credible any more, but the node's
+        // historical mean position (shrunk toward its home-region prior) is
+        // — a patroller averages the road middle, an indoor wanderer its
+        // building's centre. The Gaussian weight keeps short-horizon
+        // behaviour purely linear (w ≈ 1 − (dt/2τ)², so a 1-second gap is
+        // unaffected).
+        match self.anchor() {
+            Some(anchor) => {
+                let w = (-(dt / (2.0 * tau)).powi(2)).exp();
+                Some(linear.lerp(anchor, 1.0 - w))
+            }
+            None => Some(linear),
+        }
+    }
+
+    fn set_home_anchor(&mut self, anchor: Point) {
+        self.home_prior = Some(anchor);
+    }
+
+    fn reset(&mut self) {
+        self.speed.reset();
+        self.direction.reset();
+        self.last = None;
+        self.unwrapped_heading = None;
+        self.dir_mean = None;
+        self.silence_speed.reset();
+        self.mean_pos = Point::ORIGIN;
+        self.obs_count = 0;
+        // The home prior is configuration, not history: it survives reset.
+    }
+}
+
+/// A generic 2-D estimator that smooths the x and y coordinates
+/// independently with any scalar [`Forecaster`].
+///
+/// Used by the estimator ablation bench to pit coordinate-space smoothing
+/// against the paper's speed/direction formulation.
+#[derive(Debug, Clone)]
+pub struct AxisSmoothing<F> {
+    x: F,
+    y: F,
+    nominal_dt: f64,
+    last: Option<(f64, Point)>,
+}
+
+impl<F: Forecaster> AxisSmoothing<F> {
+    /// Wraps per-axis forecasters; `nominal_dt` is the expected observation
+    /// spacing in seconds (used to convert a wall-clock horizon into
+    /// forecast steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nominal_dt` is not strictly positive.
+    pub fn new(x: F, y: F, nominal_dt: f64) -> Self {
+        assert!(
+            nominal_dt > 0.0 && nominal_dt.is_finite(),
+            "nominal_dt must be positive"
+        );
+        AxisSmoothing {
+            x,
+            y,
+            nominal_dt,
+            last: None,
+        }
+    }
+}
+
+impl<F: Forecaster> PositionEstimator for AxisSmoothing<F> {
+    fn observe(&mut self, time_s: f64, position: Point) {
+        self.x.observe(position.x);
+        self.y.observe(position.y);
+        self.last = Some((time_s, position));
+    }
+
+    fn estimate(&self, time_s: f64) -> Option<Point> {
+        let (t0, p0) = self.last?;
+        let horizon = ((time_s - t0).max(0.0)) / self.nominal_dt;
+        match (self.x.forecast(horizon), self.y.forecast(horizon)) {
+            (Some(x), Some(y)) => Some(Point::new(x, y)),
+            _ => Some(p0),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.x.reset();
+        self.y.reset();
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HoltLinear;
+
+    #[test]
+    fn last_known_before_any_observation() {
+        let lk = LastKnown::new();
+        assert_eq!(lk.estimate(0.0), None);
+    }
+
+    #[test]
+    fn dead_reckoning_extrapolates_linearly() {
+        let mut dr = DeadReckoning::new();
+        dr.observe(0.0, Point::new(0.0, 0.0));
+        dr.observe(1.0, Point::new(2.0, 0.0));
+        let p = dr.estimate(3.0).unwrap();
+        assert!((p.x - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_reckoning_single_observation_is_static() {
+        let mut dr = DeadReckoning::new();
+        dr.observe(0.0, Point::new(5.0, 5.0));
+        assert_eq!(dr.estimate(10.0), Some(Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn brown_tracks_straight_walk() {
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        for t in 0..30 {
+            est.observe(t as f64, Point::new(0.0, 1.5 * t as f64));
+        }
+        let p = est.estimate(32.0).unwrap();
+        assert!((p.y - 48.0).abs() < 1.0, "y = {}", p.y);
+        assert!(p.x.abs() < 1.0);
+    }
+
+    #[test]
+    fn brown_speed_estimate_converges() {
+        let mut est = BrownPositionEstimator::new(0.4).unwrap();
+        for t in 0..60 {
+            est.observe(t as f64, Point::new(3.0 * t as f64, 0.0));
+        }
+        assert!((est.speed_estimate().unwrap() - 3.0).abs() < 1e-6);
+        assert!(est.heading_estimate().unwrap().angle_to(Heading::EAST) < 1e-6);
+    }
+
+    #[test]
+    fn brown_single_observation_falls_back_to_last_position() {
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        est.observe(0.0, Point::new(7.0, 8.0));
+        assert_eq!(est.estimate(5.0), Some(Point::new(7.0, 8.0)));
+    }
+
+    #[test]
+    fn brown_handles_stationary_node() {
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        for t in 0..10 {
+            est.observe(t as f64, Point::new(4.0, 4.0));
+        }
+        let p = est.estimate(20.0).unwrap();
+        assert!(p.distance_to(Point::new(4.0, 4.0)) < 1e-6);
+    }
+
+    #[test]
+    fn brown_heading_survives_wraparound() {
+        // Walk in a slow circle crossing the 0/2pi seam repeatedly; the
+        // estimate should stay within the circle's neighbourhood.
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        let r = 10.0;
+        for t in 0..200 {
+            let angle = 0.1 * t as f64;
+            est.observe(t as f64, Point::new(r * angle.cos(), r * angle.sin()));
+        }
+        let p = est.estimate(201.0).unwrap();
+        assert!(p.distance_to(Point::ORIGIN) < 3.0 * r);
+    }
+
+    #[test]
+    fn brown_ignores_non_advancing_time() {
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        est.observe(1.0, Point::new(0.0, 0.0));
+        est.observe(1.0, Point::new(100.0, 0.0)); // dt = 0: no velocity sample
+        est.observe(2.0, Point::new(101.0, 0.0));
+        // Speed from the only valid interval is 1 m/s, not 100.
+        assert!((est.speed_estimate().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axis_smoothing_with_holt_tracks_diagonal() {
+        let make = || HoltLinear::new(0.7, 0.3).unwrap();
+        let mut est = AxisSmoothing::new(make(), make(), 1.0);
+        for t in 0..100 {
+            est.observe(t as f64, Point::new(t as f64, 2.0 * t as f64));
+        }
+        let p = est.estimate(101.0).unwrap();
+        assert!((p.x - 101.0).abs() < 1.0);
+        assert!((p.y - 202.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut est = BrownPositionEstimator::new(0.5).unwrap();
+        est.observe(0.0, Point::new(1.0, 1.0));
+        est.observe(1.0, Point::new(2.0, 2.0));
+        est.reset();
+        assert_eq!(est.estimate(2.0), None);
+    }
+
+    #[test]
+    fn estimators_are_object_safe() {
+        let mut boxed: Vec<Box<dyn PositionEstimator>> = vec![
+            Box::new(LastKnown::new()),
+            Box::new(DeadReckoning::new()),
+            Box::new(BrownPositionEstimator::new(0.5).unwrap()),
+        ];
+        for est in &mut boxed {
+            est.observe(0.0, Point::ORIGIN);
+            assert!(est.estimate(1.0).is_some());
+        }
+    }
+}

@@ -1,0 +1,272 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Rect, Segment};
+
+/// A simple polygon with containment, area and centroid queries.
+///
+/// Most campus regions are rectangles, but irregular region shapes (e.g. an
+/// L-shaped building or a triangular plaza) use `Polygon`. Containment uses
+/// the even–odd ray-casting rule, which is robust for the simple,
+/// non-self-intersecting shapes the campus model produces.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mobigrid_geo::GeoError> {
+/// use mobigrid_geo::{Point, Polygon};
+///
+/// let triangle = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 4.0),
+/// ])?;
+/// assert!(triangle.contains(Point::new(1.0, 1.0)));
+/// assert_eq!(triangle.area(), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its boundary vertices in order (either
+    /// winding). The boundary is implicitly closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::PolygonTooSmall`] for fewer than three vertices
+    /// and [`GeoError::NonFiniteCoordinate`] for NaN/infinite vertices.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeoError> {
+        if vertices.len() < 3 {
+            return Err(GeoError::PolygonTooSmall {
+                got: vertices.len(),
+            });
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(GeoError::NonFiniteCoordinate);
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Builds the polygon equivalent of a rectangle.
+    #[must_use]
+    pub fn from_rect(rect: Rect) -> Self {
+        Polygon {
+            vertices: rect.corners().to_vec(),
+        }
+    }
+
+    /// The boundary vertices.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Iterates over the boundary edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Even–odd (ray casting) containment test. Points exactly on a boundary
+    /// edge count as inside.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        // Boundary points first: ray casting is unreliable exactly on edges.
+        for e in self.edges() {
+            if e.distance_to_point(p) <= crate::EPSILON {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Unsigned area by the shoelace formula.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Signed area: positive for counter-clockwise winding.
+    #[must_use]
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum / 2.0
+    }
+
+    /// Area centroid of the polygon.
+    ///
+    /// Degenerate (zero-area) polygons fall back to the vertex average.
+    #[must_use]
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() <= crate::EPSILON {
+            let n = self.vertices.len() as f64;
+            let (sx, sy) = self
+                .vertices
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), v| (sx + v.x, sy + v.y));
+            return Point::new(sx / n, sy / n);
+        }
+        let n = self.vertices.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box of the polygon.
+    #[must_use]
+    pub fn bounding_box(&self) -> Rect {
+        Rect::bounding(self.vertices.iter().copied()).expect("polygon has >= 3 vertices")
+    }
+
+    /// Perimeter length, including the closing edge.
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(rect: Rect) -> Self {
+        Polygon::from_rect(rect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap()
+    }
+
+    fn ell_shape() -> Polygon {
+        // An L: 2x2 square with the top-right 1x1 notch removed.
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        let r = Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+        assert_eq!(r, Err(GeoError::PolygonTooSmall { got: 2 }));
+    }
+
+    #[test]
+    fn square_area_and_perimeter() {
+        let s = square();
+        assert_eq!(s.area(), 4.0);
+        assert_eq!(s.perimeter(), 8.0);
+    }
+
+    #[test]
+    fn ccw_winding_gives_positive_signed_area() {
+        assert!(square().signed_area() > 0.0);
+    }
+
+    #[test]
+    fn containment_interior_exterior_boundary() {
+        let s = square();
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(!s.contains(Point::new(3.0, 1.0)));
+        assert!(s.contains(Point::new(0.0, 1.0))); // boundary counts
+        assert!(s.contains(Point::new(2.0, 2.0))); // corner counts
+    }
+
+    #[test]
+    fn l_shape_containment_respects_notch() {
+        let l = ell_shape();
+        assert!(l.contains(Point::new(0.5, 1.5)));
+        assert!(l.contains(Point::new(1.5, 0.5)));
+        assert!(!l.contains(Point::new(1.5, 1.5))); // in the notch
+    }
+
+    #[test]
+    fn l_shape_area() {
+        assert!((ell_shape().area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let c = square().centroid();
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_is_winding_independent() {
+        let mut v = square().vertices().to_vec();
+        v.reverse();
+        let cw = Polygon::new(v).unwrap();
+        let c = cw.centroid();
+        assert!((c.x - 1.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_polygon_centroid_falls_back_to_vertex_mean() {
+        let line = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(line.centroid(), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn from_rect_matches_rect_queries() {
+        let r = Rect::new(Point::new(1.0, 1.0), Point::new(4.0, 3.0)).unwrap();
+        let p = Polygon::from_rect(r);
+        assert_eq!(p.area(), r.area());
+        assert_eq!(p.bounding_box(), r);
+        assert!(p.contains(r.center()));
+    }
+
+    #[test]
+    fn edges_count_matches_vertices() {
+        assert_eq!(square().edges().count(), 4);
+        assert_eq!(ell_shape().edges().count(), 6);
+    }
+}

@@ -1,0 +1,264 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point, Segment};
+
+/// A multi-leg path through the plane with arc-length parametrisation.
+///
+/// Campus roads and the routes produced by the waypoint router are polylines.
+/// The linear-movement mobility model advances a node a fixed number of metres
+/// per tick along a polyline via [`Polyline::point_at_distance`], which is why
+/// the cumulative leg lengths are precomputed at construction.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mobigrid_geo::GeoError> {
+/// use mobigrid_geo::{Point, Polyline};
+///
+/// let path = Polyline::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 5.0),
+/// ])?;
+/// assert_eq!(path.length(), 15.0);
+/// assert_eq!(path.point_at_distance(12.0), Point::new(10.0, 2.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// `cumulative[i]` is the arc length from the start to `vertices[i]`.
+    cumulative: Vec<f64>,
+}
+
+impl Polyline {
+    /// Creates a polyline through `vertices` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::PolylineTooShort`] when fewer than two vertices are
+    /// supplied, and [`GeoError::NonFiniteCoordinate`] when any coordinate is
+    /// NaN or infinite.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeoError> {
+        if vertices.len() < 2 {
+            return Err(GeoError::PolylineTooShort {
+                got: vertices.len(),
+            });
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(GeoError::NonFiniteCoordinate);
+        }
+        let mut cumulative = Vec::with_capacity(vertices.len());
+        let mut total = 0.0;
+        cumulative.push(0.0);
+        for pair in vertices.windows(2) {
+            total += pair[0].distance_to(pair[1]);
+            cumulative.push(total);
+        }
+        Ok(Polyline {
+            vertices,
+            cumulative,
+        })
+    }
+
+    /// The vertices of the polyline, in travel order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Total arc length in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("polyline has >= 2 vertices")
+    }
+
+    /// First vertex.
+    #[must_use]
+    pub fn start(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[must_use]
+    pub fn end(&self) -> Point {
+        *self.vertices.last().expect("polyline has >= 2 vertices")
+    }
+
+    /// Iterates over the straight legs of the path.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// The point `s` metres along the path from the start, clamped to the
+    /// endpoints.
+    #[must_use]
+    pub fn point_at_distance(&self, s: f64) -> Point {
+        if s <= 0.0 {
+            return self.start();
+        }
+        let total = self.length();
+        if s >= total {
+            return self.end();
+        }
+        // Binary search for the leg containing arc length s.
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let leg = Segment::new(self.vertices[idx], self.vertices[idx + 1]);
+        leg.point_at_distance(s - self.cumulative[idx])
+    }
+
+    /// Shortest distance from `p` to any point on the path.
+    #[must_use]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.segments()
+            .map(|seg| seg.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arc length of the point on the path closest to `p`.
+    #[must_use]
+    pub fn project(&self, p: Point) -> f64 {
+        let mut best = (f64::INFINITY, 0.0);
+        for (i, seg) in self.segments().enumerate() {
+            let t = seg.project(p);
+            let q = seg.point_at(t);
+            let d = q.distance_to(p);
+            if d < best.0 {
+                best = (d, self.cumulative[i] + t * seg.length());
+            }
+        }
+        best.1
+    }
+
+    /// A polyline that travels the same path in reverse.
+    #[must_use]
+    pub fn reversed(&self) -> Polyline {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polyline::new(v).expect("reversal preserves validity")
+    }
+
+    /// Concatenates another polyline onto the end of this one.
+    ///
+    /// If the end of `self` coincides with the start of `other` the duplicate
+    /// vertex is dropped.
+    #[must_use]
+    pub fn join(&self, other: &Polyline) -> Polyline {
+        let mut v = self.vertices.clone();
+        let skip_first = self.end().distance_to(other.start()) <= crate::EPSILON;
+        let tail = if skip_first {
+            &other.vertices[1..]
+        } else {
+            &other.vertices[..]
+        };
+        v.extend_from_slice(tail);
+        Polyline::new(v).expect("join of valid polylines is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ell() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        assert_eq!(
+            Polyline::new(vec![Point::ORIGIN]),
+            Err(GeoError::PolylineTooShort { got: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_vertices() {
+        let r = Polyline::new(vec![Point::ORIGIN, Point::new(f64::NAN, 0.0)]);
+        assert_eq!(r, Err(GeoError::NonFiniteCoordinate));
+    }
+
+    #[test]
+    fn length_sums_legs() {
+        assert_eq!(ell().length(), 15.0);
+    }
+
+    #[test]
+    fn point_at_distance_walks_each_leg() {
+        let p = ell();
+        assert_eq!(p.point_at_distance(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at_distance(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at_distance(10.0), Point::new(10.0, 0.0));
+        assert_eq!(p.point_at_distance(12.5), Point::new(10.0, 2.5));
+        assert_eq!(p.point_at_distance(15.0), Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn point_at_distance_clamps_out_of_range() {
+        let p = ell();
+        assert_eq!(p.point_at_distance(-1.0), p.start());
+        assert_eq!(p.point_at_distance(99.0), p.end());
+    }
+
+    #[test]
+    fn distance_to_point_picks_nearest_leg() {
+        let p = ell();
+        assert_eq!(p.distance_to_point(Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(p.distance_to_point(Point::new(12.0, 2.5)), 2.0);
+    }
+
+    #[test]
+    fn project_returns_arc_length_of_nearest_point() {
+        let p = ell();
+        assert_eq!(p.project(Point::new(5.0, 1.0)), 5.0);
+        assert_eq!(p.project(Point::new(11.0, 2.5)), 12.5);
+    }
+
+    #[test]
+    fn reversed_traverses_backwards() {
+        let p = ell();
+        let r = p.reversed();
+        assert_eq!(r.start(), p.end());
+        assert_eq!(r.end(), p.start());
+        assert_eq!(r.length(), p.length());
+        assert_eq!(r.point_at_distance(2.5), Point::new(10.0, 2.5));
+    }
+
+    #[test]
+    fn join_merges_shared_vertex() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+        let b = Polyline::new(vec![Point::new(1.0, 0.0), Point::new(1.0, 1.0)]).unwrap();
+        let j = a.join(&b);
+        assert_eq!(j.vertices().len(), 3);
+        assert_eq!(j.length(), 2.0);
+    }
+
+    #[test]
+    fn join_keeps_disjoint_vertices() {
+        let a = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+        let b = Polyline::new(vec![Point::new(2.0, 0.0), Point::new(3.0, 0.0)]).unwrap();
+        let j = a.join(&b);
+        assert_eq!(j.vertices().len(), 4);
+        assert_eq!(j.length(), 3.0);
+    }
+
+    #[test]
+    fn segments_iterator_yields_each_leg() {
+        let segs: Vec<Segment> = ell().segments().collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].length(), 10.0);
+        assert_eq!(segs[1].length(), 5.0);
+    }
+}

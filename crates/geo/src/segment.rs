@@ -1,0 +1,211 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Heading, Point, Vec2};
+
+/// A directed straight line segment between two points.
+///
+/// Roads in the campus model are polylines of segments; the mobility models
+/// walk along them with arc-length parametrisation, and the wireless coverage
+/// model measures distances from nodes to gateway sites via
+/// [`Segment::distance_to_point`].
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_geo::{Point, Segment};
+///
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+/// assert_eq!(s.length(), 10.0);
+/// assert_eq!(s.point_at(0.5), Point::new(5.0, 0.0));
+/// assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment from `a` to `b`.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment in metres.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.a.distance_to(self.b)
+    }
+
+    /// The displacement from start to end.
+    #[must_use]
+    pub fn delta(self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Direction of travel along the segment, or `None` for a degenerate
+    /// zero-length segment.
+    #[must_use]
+    pub fn heading(self) -> Option<Heading> {
+        self.delta().heading()
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment (values outside the
+    /// range extrapolate).
+    #[must_use]
+    pub fn point_at(self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Point at arc-length `s` metres from the start, clamped to the segment.
+    #[must_use]
+    pub fn point_at_distance(self, s: f64) -> Point {
+        let len = self.length();
+        if len == 0.0 {
+            return self.a;
+        }
+        self.point_at((s / len).clamp(0.0, 1.0))
+    }
+
+    /// The parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
+    #[must_use]
+    pub fn project(self, p: Point) -> f64 {
+        let d = self.delta();
+        let len_sq = d.norm_sq();
+        if len_sq == 0.0 {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// The point on the segment closest to `p`.
+    #[must_use]
+    pub fn closest_point(self, p: Point) -> Point {
+        self.point_at(self.project(p))
+    }
+
+    /// Shortest distance from `p` to any point of the segment.
+    #[must_use]
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        self.closest_point(p).distance_to(p)
+    }
+
+    /// The segment travelled in the opposite direction.
+    #[must_use]
+    pub fn reversed(self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+
+    /// Midpoint of the segment.
+    #[must_use]
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Intersection point of two segments, if they cross at a single point.
+    ///
+    /// Collinear overlapping segments return `None` (no unique intersection).
+    #[must_use]
+    pub fn intersection(self, other: Segment) -> Option<Point> {
+        let r = self.delta();
+        let s = other.delta();
+        let denom = r.cross(s);
+        if denom == 0.0 {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some(self.point_at(t))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn horizontal() -> Segment {
+        Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = horizontal();
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn point_at_distance_clamps() {
+        let s = horizontal();
+        assert_eq!(s.point_at_distance(-5.0), s.a);
+        assert_eq!(s.point_at_distance(25.0), s.b);
+        assert_eq!(s.point_at_distance(4.0), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_is_safe() {
+        let p = Point::new(3.0, 3.0);
+        let s = Segment::new(p, p);
+        assert_eq!(s.length(), 0.0);
+        assert!(s.heading().is_none());
+        assert_eq!(s.point_at_distance(1.0), p);
+        assert_eq!(s.closest_point(Point::new(9.0, 9.0)), p);
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = horizontal();
+        assert_eq!(s.project(Point::new(-4.0, 2.0)), 0.0);
+        assert_eq!(s.project(Point::new(14.0, 2.0)), 1.0);
+        assert_eq!(s.project(Point::new(6.0, 2.0)), 0.6);
+    }
+
+    #[test]
+    fn distance_to_point_above_midspan() {
+        assert_eq!(horizontal().distance_to_point(Point::new(5.0, 3.0)), 3.0);
+    }
+
+    #[test]
+    fn distance_to_point_beyond_endpoint() {
+        let d = horizontal().distance_to_point(Point::new(13.0, 4.0));
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let s2 = Segment::new(Point::new(0.0, 10.0), Point::new(10.0, 0.0));
+        let p = s1.intersection(s2).unwrap();
+        assert!((p.x - 5.0).abs() < 1e-12);
+        assert!((p.y - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = horizontal();
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(10.0, 1.0));
+        assert!(s1.intersection(s2).is_none());
+    }
+
+    #[test]
+    fn non_overlapping_skew_segments_do_not_intersect() {
+        let s1 = horizontal();
+        let s2 = Segment::new(Point::new(20.0, -1.0), Point::new(20.0, 1.0));
+        assert!(s1.intersection(s2).is_none());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let s = horizontal();
+        assert_eq!(s.reversed().a, s.b);
+        assert_eq!(s.reversed().b, s.a);
+    }
+}

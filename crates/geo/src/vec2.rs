@@ -1,0 +1,284 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Heading;
+
+/// A displacement in the plane, in metres.
+///
+/// Where [`Point`](crate::Point) answers *where*, `Vec2` answers *how far and
+/// in which direction*. Velocities in the mobility models are `Vec2`s scaled
+/// by time; the adaptive distance filter compares the norm of accumulated
+/// displacement against its distance threshold.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_geo::{Heading, Vec2};
+///
+/// let east = Vec2::from_polar(2.0, Heading::from_degrees(0.0));
+/// assert!((east.dx - 2.0).abs() < 1e-9);
+/// assert!(east.dy.abs() < 1e-9);
+/// assert!((east.norm() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Easting component in metres.
+    pub dx: f64,
+    /// Northing component in metres.
+    pub dy: f64,
+}
+
+impl Vec2 {
+    /// The zero displacement.
+    pub const ZERO: Vec2 = Vec2 { dx: 0.0, dy: 0.0 };
+
+    /// Creates a displacement of `(dx, dy)` metres.
+    #[must_use]
+    pub const fn new(dx: f64, dy: f64) -> Self {
+        Vec2 { dx, dy }
+    }
+
+    /// Builds the vector of length `magnitude` pointing along `heading`.
+    ///
+    /// Headings are measured counter-clockwise from the positive x axis, so a
+    /// heading of 90° points along positive y.
+    #[must_use]
+    pub fn from_polar(magnitude: f64, heading: Heading) -> Self {
+        Vec2 {
+            dx: magnitude * heading.radians().cos(),
+            dy: magnitude * heading.radians().sin(),
+        }
+    }
+
+    /// Euclidean length of the vector, in metres.
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.dx.hypot(self.dy)
+    }
+
+    /// Squared length; avoids the square root when only comparing magnitudes.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Dot product with `other`.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.dx * other.dx + self.dy * other.dy
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    ///
+    /// Positive when `other` lies counter-clockwise of `self`.
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.dx * other.dy - self.dy * other.dx
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for the zero
+    /// vector.
+    #[must_use]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The direction of this displacement, or `None` for the zero vector.
+    #[must_use]
+    pub fn heading(self) -> Option<Heading> {
+        if self.dx == 0.0 && self.dy == 0.0 {
+            None
+        } else {
+            Some(Heading::from_radians(self.dy.atan2(self.dx)))
+        }
+    }
+
+    /// Rotates the vector counter-clockwise by `angle` radians.
+    #[must_use]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2 {
+            dx: self.dx * c - self.dy * s,
+            dy: self.dx * s + self.dy * c,
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[must_use]
+    pub fn perpendicular(self) -> Vec2 {
+        Vec2 {
+            dx: -self.dy,
+            dy: self.dx,
+        }
+    }
+
+    /// Clamps the magnitude to at most `max`, preserving direction.
+    #[must_use]
+    pub fn clamped(self, max: f64) -> Vec2 {
+        let n = self.norm();
+        if n > max && n > 0.0 {
+            self * (max / n)
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.dx, self.dy)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.dx + rhs.dx, self.dy + rhs.dy)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.dx += rhs.dx;
+        self.dy += rhs.dy;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.dx - rhs.dx, self.dy - rhs.dy)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.dx -= rhs.dx;
+        self.dy -= rhs.dy;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.dx * rhs, self.dy * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.dx / rhs, self.dy / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.dx, -self.dy)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((dx, dy): (f64, f64)) -> Self {
+        Vec2::new(dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(Vec2::new(1.0, 0.0).norm(), 1.0);
+        assert_eq!(Vec2::new(0.0, -1.0).norm(), 1.0);
+    }
+
+    #[test]
+    fn from_polar_north() {
+        let v = Vec2::from_polar(3.0, Heading::from_radians(FRAC_PI_2));
+        assert!(v.dx.abs() < 1e-12);
+        assert!((v.dy - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let h = Heading::from_degrees(37.0);
+        let v = Vec2::from_polar(5.0, h);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        let back = v.heading().unwrap();
+        assert!((back.radians() - h.radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_has_no_heading() {
+        assert!(Vec2::ZERO.heading().is_none());
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn dot_of_perpendicular_vectors_is_zero() {
+        let v = Vec2::new(2.0, 3.0);
+        assert!((v.dot(v.perpendicular())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let east = Vec2::new(1.0, 0.0);
+        let north = Vec2::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+
+    #[test]
+    fn rotation_by_pi_negates() {
+        let v = Vec2::new(1.0, 2.0);
+        let r = v.rotated(PI);
+        assert!((r.dx + 1.0).abs() < 1e-12);
+        assert!((r.dy + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_preserves_short_vectors() {
+        let v = Vec2::new(1.0, 0.0);
+        assert_eq!(v.clamped(2.0), v);
+    }
+
+    #[test]
+    fn clamped_limits_long_vectors() {
+        let v = Vec2::new(3.0, 4.0).clamped(1.0);
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let v = Vec2::new(2.0, -1.0);
+        assert_eq!(v + Vec2::ZERO, v);
+        assert_eq!(v - v, Vec2::ZERO);
+        assert_eq!(-(-v), v);
+        assert_eq!(v * 2.0, 2.0 * v);
+        assert_eq!((v * 2.0) / 2.0, v);
+    }
+}

@@ -1,0 +1,613 @@
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use bytes::Bytes;
+
+use crate::time_mgmt::TimeManager;
+use crate::{
+    AttributeHandle, AttributeValues, Callback, FedTime, FederateHandle, InteractionClassHandle,
+    ObjectClassHandle, ObjectHandle, ObjectModel, ParameterValues, RegionHandle, RoutingRegion,
+    RtiError,
+};
+
+/// One federate's subscription to an object class: the attribute set plus an
+/// optional DDM routing region narrowing its interest.
+#[derive(Debug, Clone)]
+struct Subscription {
+    attributes: BTreeSet<AttributeHandle>,
+    region: Option<RegionHandle>,
+}
+
+#[derive(Debug, Default)]
+struct FederateState {
+    name: String,
+    /// Receive-order queue, drained by `tick`.
+    ro_queue: VecDeque<Callback>,
+    /// Timestamp-order store, released into the RO queue on time grants.
+    tso_queue: BTreeMap<(FedTime, u64), Callback>,
+    published_classes: BTreeSet<ObjectClassHandle>,
+    subscriptions: BTreeMap<ObjectClassHandle, Subscription>,
+    published_interactions: BTreeSet<InteractionClassHandle>,
+    subscribed_interactions: BTreeSet<InteractionClassHandle>,
+}
+
+#[derive(Debug)]
+struct ObjectState {
+    class: ObjectClassHandle,
+    name: String,
+    owner: FederateHandle,
+}
+
+/// One federation execution: the paper's "campus" simulation would be a
+/// single instance with MN, ADF and broker federates joined.
+#[derive(Debug)]
+pub(crate) struct Federation {
+    fom: ObjectModel,
+    federates: BTreeMap<FederateHandle, FederateState>,
+    objects: BTreeMap<ObjectHandle, ObjectState>,
+    time: TimeManager,
+    sync_points: BTreeMap<String, BTreeSet<FederateHandle>>,
+    regions: BTreeMap<RegionHandle, (FederateHandle, RoutingRegion)>,
+    routing_dims: Option<usize>,
+    next_federate: u32,
+    next_object: u32,
+    next_region: u32,
+    tso_seq: u64,
+}
+
+impl Federation {
+    pub fn new(fom: ObjectModel) -> Self {
+        Federation {
+            fom,
+            federates: BTreeMap::new(),
+            objects: BTreeMap::new(),
+            time: TimeManager::new(),
+            sync_points: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            routing_dims: None,
+            next_federate: 0,
+            next_object: 0,
+            next_region: 0,
+            tso_seq: 0,
+        }
+    }
+
+    pub fn fom(&self) -> &ObjectModel {
+        &self.fom
+    }
+
+    pub fn federate_count(&self) -> usize {
+        self.federates.len()
+    }
+
+    // --- Federation management -------------------------------------------
+
+    pub fn join(&mut self, name: &str) -> FederateHandle {
+        let handle = FederateHandle::from_raw(self.next_federate);
+        self.next_federate += 1;
+        self.federates.insert(
+            handle,
+            FederateState {
+                name: name.to_string(),
+                ..FederateState::default()
+            },
+        );
+        self.time.join(handle);
+        handle
+    }
+
+    pub fn resign(&mut self, fed: FederateHandle) -> Result<(), RtiError> {
+        if self.federates.remove(&fed).is_none() {
+            return Err(RtiError::NotJoined);
+        }
+        self.time.resign(fed);
+        // Delete the resigning federate's objects, notifying subscribers.
+        let owned: Vec<ObjectHandle> = self
+            .objects
+            .iter()
+            .filter(|(_, st)| st.owner == fed)
+            .map(|(h, _)| *h)
+            .collect();
+        for object in owned {
+            let class = self.objects[&object].class;
+            self.objects.remove(&object);
+            self.broadcast_to_subscribers(class, fed, |_| Callback::RemoveObject { object });
+        }
+        // A departed regulator may unblock pending advances.
+        self.dispatch_grants();
+        // Sync points no longer wait on the resigned federate.
+        self.settle_sync_points();
+        Ok(())
+    }
+
+    fn state(&self, fed: FederateHandle) -> Result<&FederateState, RtiError> {
+        self.federates.get(&fed).ok_or(RtiError::NotJoined)
+    }
+
+    fn state_mut(&mut self, fed: FederateHandle) -> Result<&mut FederateState, RtiError> {
+        self.federates.get_mut(&fed).ok_or(RtiError::NotJoined)
+    }
+
+    /// Names of the currently joined federates, in handle order.
+    pub fn federate_names(&self) -> Vec<String> {
+        self.federates.values().map(|s| s.name.clone()).collect()
+    }
+
+    // --- Declaration management ------------------------------------------
+
+    pub fn publish_object_class(
+        &mut self,
+        fed: FederateHandle,
+        class: ObjectClassHandle,
+    ) -> Result<(), RtiError> {
+        if !self.fom.has_object_class(class) {
+            return Err(RtiError::UnknownHandle);
+        }
+        self.state_mut(fed)?.published_classes.insert(class);
+        Ok(())
+    }
+
+    pub fn subscribe_object_class(
+        &mut self,
+        fed: FederateHandle,
+        class: ObjectClassHandle,
+        attributes: &[AttributeHandle],
+    ) -> Result<(), RtiError> {
+        self.subscribe_object_class_scoped(fed, class, attributes, None)
+    }
+
+    pub fn subscribe_object_class_scoped(
+        &mut self,
+        fed: FederateHandle,
+        class: ObjectClassHandle,
+        attributes: &[AttributeHandle],
+        region: Option<RegionHandle>,
+    ) -> Result<(), RtiError> {
+        if let Some(r) = region {
+            self.check_region(fed, r)?;
+        }
+        if !self.fom.has_object_class(class) {
+            return Err(RtiError::UnknownHandle);
+        }
+        for a in attributes {
+            if !self.fom.class_has_attribute(class, *a) {
+                return Err(RtiError::UnknownHandle);
+            }
+        }
+        // Discover existing instances of the class for the late subscriber.
+        let discoveries: Vec<Callback> = self
+            .objects
+            .iter()
+            .filter(|(_, st)| st.class == class && st.owner != fed)
+            .map(|(h, st)| Callback::DiscoverObject {
+                object: *h,
+                class,
+                name: st.name.clone(),
+            })
+            .collect();
+        let state = self.state_mut(fed)?;
+        state.subscriptions.insert(
+            class,
+            Subscription {
+                attributes: attributes.iter().copied().collect(),
+                region,
+            },
+        );
+        state.ro_queue.extend(discoveries);
+        Ok(())
+    }
+
+    pub fn publish_interaction(
+        &mut self,
+        fed: FederateHandle,
+        class: InteractionClassHandle,
+    ) -> Result<(), RtiError> {
+        if !self.fom.has_interaction(class) {
+            return Err(RtiError::UnknownHandle);
+        }
+        self.state_mut(fed)?.published_interactions.insert(class);
+        Ok(())
+    }
+
+    pub fn subscribe_interaction(
+        &mut self,
+        fed: FederateHandle,
+        class: InteractionClassHandle,
+    ) -> Result<(), RtiError> {
+        if !self.fom.has_interaction(class) {
+            return Err(RtiError::UnknownHandle);
+        }
+        self.state_mut(fed)?.subscribed_interactions.insert(class);
+        Ok(())
+    }
+
+    // --- Object management -------------------------------------------------
+
+    pub fn register_object(
+        &mut self,
+        fed: FederateHandle,
+        class: ObjectClassHandle,
+    ) -> Result<ObjectHandle, RtiError> {
+        if !self.state(fed)?.published_classes.contains(&class) {
+            return Err(RtiError::NotPublished);
+        }
+        let handle = ObjectHandle::from_raw(self.next_object);
+        self.next_object += 1;
+        let class_name = self
+            .fom
+            .object_class_name(class)
+            .unwrap_or("object")
+            .to_string();
+        let name = format!("{class_name}-{}", handle.raw());
+        self.objects.insert(
+            handle,
+            ObjectState {
+                class,
+                name: name.clone(),
+                owner: fed,
+            },
+        );
+        self.broadcast_to_subscribers(class, fed, |_| Callback::DiscoverObject {
+            object: handle,
+            class,
+            name: name.clone(),
+        });
+        Ok(handle)
+    }
+
+    pub fn delete_object(
+        &mut self,
+        fed: FederateHandle,
+        object: ObjectHandle,
+    ) -> Result<(), RtiError> {
+        let st = self.objects.get(&object).ok_or(RtiError::UnknownObject)?;
+        if st.owner != fed {
+            return Err(RtiError::NotPublished);
+        }
+        let class = st.class;
+        self.objects.remove(&object);
+        self.broadcast_to_subscribers(class, fed, |_| Callback::RemoveObject { object });
+        Ok(())
+    }
+
+    /// Delivers a callback to every federate subscribed to `class`
+    /// (excluding `sender`).
+    fn broadcast_to_subscribers<F>(
+        &mut self,
+        class: ObjectClassHandle,
+        sender: FederateHandle,
+        mut make: F,
+    ) where
+        F: FnMut(FederateHandle) -> Callback,
+    {
+        let targets: Vec<FederateHandle> = self
+            .federates
+            .iter()
+            .filter(|(h, st)| **h != sender && st.subscriptions.contains_key(&class))
+            .map(|(h, _)| *h)
+            .collect();
+        for t in targets {
+            let cb = make(t);
+            self.federates
+                .get_mut(&t)
+                .expect("target federate exists")
+                .ro_queue
+                .push_back(cb);
+        }
+    }
+
+    pub fn update_attributes(
+        &mut self,
+        fed: FederateHandle,
+        object: ObjectHandle,
+        values: AttributeValues,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        self.update_attributes_scoped(fed, object, values, None, time)
+    }
+
+    pub fn update_attributes_scoped(
+        &mut self,
+        fed: FederateHandle,
+        object: ObjectHandle,
+        values: AttributeValues,
+        update_region: Option<RegionHandle>,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        if let Some(r) = update_region {
+            self.check_region(fed, r)?;
+        }
+        let st = self.objects.get(&object).ok_or(RtiError::UnknownObject)?;
+        if st.owner != fed {
+            return Err(RtiError::NotPublished);
+        }
+        let class = st.class;
+        for (a, _) in &values {
+            if !self.fom.class_has_attribute(class, *a) {
+                return Err(RtiError::UnknownHandle);
+            }
+        }
+        // Timestamp-order delivery requires a regulating sender whose
+        // promise covers the timestamp.
+        let tso_time = match time {
+            Some(t) if self.time.is_regulating(fed) => {
+                self.time.check_send_time(fed, t)?;
+                Some(t)
+            }
+            _ => None,
+        };
+
+        let targets: Vec<(FederateHandle, AttributeValues)> = self
+            .federates
+            .iter()
+            .filter(|(h, _)| **h != fed)
+            .filter_map(|(h, fs)| {
+                let subscription = fs.subscriptions.get(&class)?;
+                // DDM: when both sides scoped their interest, deliver only
+                // on overlap; an unscoped side means "everywhere".
+                if let (Some(ur), Some(sr)) = (update_region, subscription.region) {
+                    let update = &self.regions.get(&ur)?.1;
+                    let interest = &self.regions.get(&sr)?.1;
+                    if !update.overlaps(interest) {
+                        return None;
+                    }
+                }
+                let relevant: AttributeValues = values
+                    .iter()
+                    .filter(|(a, _)| subscription.attributes.contains(a))
+                    .map(|(a, v)| (*a, Bytes::clone(v)))
+                    .collect();
+                if relevant.is_empty() {
+                    None
+                } else {
+                    Some((*h, relevant))
+                }
+            })
+            .collect();
+
+        for (target, relevant) in targets {
+            let constrained = self.time.is_constrained(target);
+            let fs = self
+                .federates
+                .get_mut(&target)
+                .expect("target federate exists");
+            match tso_time {
+                Some(t) if constrained => {
+                    let seq = self.tso_seq;
+                    self.tso_seq += 1;
+                    fs.tso_queue.insert(
+                        (t, seq),
+                        Callback::ReflectAttributes {
+                            object,
+                            values: relevant,
+                            time: Some(t),
+                        },
+                    );
+                }
+                _ => {
+                    fs.ro_queue.push_back(Callback::ReflectAttributes {
+                        object,
+                        values: relevant,
+                        time: tso_time,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn send_interaction(
+        &mut self,
+        fed: FederateHandle,
+        class: InteractionClassHandle,
+        values: ParameterValues,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        if !self.state(fed)?.published_interactions.contains(&class) {
+            return Err(RtiError::NotPublished);
+        }
+        let tso_time = match time {
+            Some(t) if self.time.is_regulating(fed) => {
+                self.time.check_send_time(fed, t)?;
+                Some(t)
+            }
+            _ => None,
+        };
+        let targets: Vec<FederateHandle> = self
+            .federates
+            .iter()
+            .filter(|(h, fs)| **h != fed && fs.subscribed_interactions.contains(&class))
+            .map(|(h, _)| *h)
+            .collect();
+        for target in targets {
+            let constrained = self.time.is_constrained(target);
+            let fs = self
+                .federates
+                .get_mut(&target)
+                .expect("target federate exists");
+            let cb = Callback::ReceiveInteraction {
+                class,
+                values: values.iter().map(|(p, v)| (*p, Bytes::clone(v))).collect(),
+                time: tso_time,
+            };
+            match tso_time {
+                Some(t) if constrained => {
+                    let seq = self.tso_seq;
+                    self.tso_seq += 1;
+                    fs.tso_queue.insert((t, seq), cb);
+                }
+                _ => fs.ro_queue.push_back(cb),
+            }
+        }
+        Ok(())
+    }
+
+    // --- Data distribution management ----------------------------------------
+
+    fn check_region(&self, fed: FederateHandle, region: RegionHandle) -> Result<(), RtiError> {
+        match self.regions.get(&region) {
+            None => Err(RtiError::InvalidRegion {
+                reason: format!("unknown region {region}"),
+            }),
+            Some((owner, _)) if *owner != fed => Err(RtiError::InvalidRegion {
+                reason: format!("region {region} is owned by another federate"),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    pub fn create_region(
+        &mut self,
+        fed: FederateHandle,
+        region: RoutingRegion,
+    ) -> Result<RegionHandle, RtiError> {
+        self.state(fed)?;
+        match self.routing_dims {
+            None => self.routing_dims = Some(region.dimensions()),
+            Some(d) if d != region.dimensions() => {
+                return Err(RtiError::InvalidRegion {
+                    reason: format!(
+                        "routing space has {d} dimensions, region has {}",
+                        region.dimensions()
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        let handle = RegionHandle::from_raw(self.next_region);
+        self.next_region += 1;
+        self.regions.insert(handle, (fed, region));
+        Ok(handle)
+    }
+
+    pub fn modify_region(
+        &mut self,
+        fed: FederateHandle,
+        handle: RegionHandle,
+        region: RoutingRegion,
+    ) -> Result<(), RtiError> {
+        self.check_region(fed, handle)?;
+        if self.routing_dims != Some(region.dimensions()) {
+            return Err(RtiError::InvalidRegion {
+                reason: "dimension change is not allowed".to_string(),
+            });
+        }
+        self.regions.insert(handle, (fed, region));
+        Ok(())
+    }
+
+    // --- Time management ---------------------------------------------------
+
+    pub fn enable_time_regulation(
+        &mut self,
+        fed: FederateHandle,
+        lookahead: FedTime,
+    ) -> Result<(), RtiError> {
+        self.state(fed)?;
+        self.time.enable_regulation(fed, lookahead)
+    }
+
+    pub fn enable_time_constrained(&mut self, fed: FederateHandle) -> Result<(), RtiError> {
+        self.state(fed)?;
+        self.time.enable_constrained(fed)
+    }
+
+    pub fn request_time_advance(
+        &mut self,
+        fed: FederateHandle,
+        to: FedTime,
+    ) -> Result<(), RtiError> {
+        self.state(fed)?;
+        self.time.request_advance(fed, to)?;
+        self.dispatch_grants();
+        Ok(())
+    }
+
+    pub fn federate_time(&self, fed: FederateHandle) -> Result<FedTime, RtiError> {
+        self.time
+            .state(fed)
+            .map(|s| s.current)
+            .ok_or(RtiError::NotJoined)
+    }
+
+    /// Runs the grant algorithm and, for each granted federate, releases its
+    /// due TSO messages (in timestamp order) ahead of the grant callback.
+    fn dispatch_grants(&mut self) {
+        for (fed, t) in self.time.evaluate() {
+            let fs = self
+                .federates
+                .get_mut(&fed)
+                .expect("granted federate exists");
+            let due: Vec<(FedTime, u64)> = fs
+                .tso_queue
+                .range(..=(t, u64::MAX))
+                .map(|(k, _)| *k)
+                .collect();
+            for key in due {
+                let cb = fs.tso_queue.remove(&key).expect("key just observed");
+                fs.ro_queue.push_back(cb);
+            }
+            fs.ro_queue
+                .push_back(Callback::TimeAdvanceGrant { time: t });
+        }
+    }
+
+    // --- Synchronization points ---------------------------------------------
+
+    pub fn register_sync_point(
+        &mut self,
+        fed: FederateHandle,
+        label: &str,
+    ) -> Result<(), RtiError> {
+        self.state(fed)?;
+        if self.sync_points.contains_key(label) {
+            return Err(RtiError::InvalidSyncPoint {
+                label: label.to_string(),
+            });
+        }
+        self.sync_points.insert(label.to_string(), BTreeSet::new());
+        for fs in self.federates.values_mut() {
+            fs.ro_queue.push_back(Callback::SyncPointAnnounced {
+                label: label.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub fn achieve_sync_point(&mut self, fed: FederateHandle, label: &str) -> Result<(), RtiError> {
+        self.state(fed)?;
+        let achieved =
+            self.sync_points
+                .get_mut(label)
+                .ok_or_else(|| RtiError::InvalidSyncPoint {
+                    label: label.to_string(),
+                })?;
+        achieved.insert(fed);
+        self.settle_sync_points();
+        Ok(())
+    }
+
+    fn settle_sync_points(&mut self) {
+        let joined: BTreeSet<FederateHandle> = self.federates.keys().copied().collect();
+        let complete: Vec<String> = self
+            .sync_points
+            .iter()
+            .filter(|(_, achieved)| joined.iter().all(|f| achieved.contains(f)))
+            .map(|(label, _)| label.clone())
+            .collect();
+        for label in complete {
+            self.sync_points.remove(&label);
+            for fs in self.federates.values_mut() {
+                fs.ro_queue.push_back(Callback::FederationSynchronized {
+                    label: label.clone(),
+                });
+            }
+        }
+    }
+
+    // --- Callback delivery ---------------------------------------------------
+
+    pub fn drain_callbacks(&mut self, fed: FederateHandle) -> Result<Vec<Callback>, RtiError> {
+        let fs = self.state_mut(fed)?;
+        Ok(fs.ro_queue.drain(..).collect())
+    }
+}

@@ -1,0 +1,276 @@
+use std::collections::BTreeMap;
+
+use crate::{
+    AttributeHandle, InteractionClassHandle, ObjectClassHandle, ParameterHandle, RtiError,
+};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ObjectClassDef {
+    name: String,
+    attributes: BTreeMap<AttributeHandle, String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InteractionClassDef {
+    name: String,
+    parameters: BTreeMap<ParameterHandle, String>,
+}
+
+/// The federation object model (FOM): the declared object classes with
+/// their attributes and interaction classes with their parameters.
+///
+/// In HLA 1.3 this is the `.fed` file parsed at federation creation; here it
+/// is built programmatically and attached to
+/// [`Rti::create_federation`](crate::Rti::create_federation).
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_hla::ObjectModel;
+///
+/// let mut fom = ObjectModel::new();
+/// let mn = fom.add_object_class("MobileNode");
+/// let pos = fom.add_attribute(mn, "position").unwrap();
+/// let vel = fom.add_attribute(mn, "velocity").unwrap();
+/// assert_eq!(fom.object_class_by_name("MobileNode"), Some(mn));
+/// assert_eq!(fom.attribute_by_name(mn, "position"), Some(pos));
+/// assert_ne!(pos, vel);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjectModel {
+    object_classes: BTreeMap<ObjectClassHandle, ObjectClassDef>,
+    interactions: BTreeMap<InteractionClassHandle, InteractionClassDef>,
+    next_class: u32,
+    next_attribute: u32,
+    next_interaction: u32,
+    next_parameter: u32,
+}
+
+impl ObjectModel {
+    /// Creates an empty FOM.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectModel::default()
+    }
+
+    /// Declares an object class. Duplicate names are allowed by HLA (they
+    /// would be hierarchical there); here later declarations simply get
+    /// distinct handles.
+    pub fn add_object_class(&mut self, name: impl Into<String>) -> ObjectClassHandle {
+        let handle = ObjectClassHandle::from_raw(self.next_class);
+        self.next_class += 1;
+        self.object_classes.insert(
+            handle,
+            ObjectClassDef {
+                name: name.into(),
+                attributes: BTreeMap::new(),
+            },
+        );
+        handle
+    }
+
+    /// Declares an attribute of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for an undeclared class and
+    /// [`RtiError::DuplicateName`] when the class already has an attribute
+    /// of that name.
+    pub fn add_attribute(
+        &mut self,
+        class: ObjectClassHandle,
+        name: impl Into<String>,
+    ) -> Result<AttributeHandle, RtiError> {
+        let name = name.into();
+        let def = self
+            .object_classes
+            .get_mut(&class)
+            .ok_or(RtiError::UnknownHandle)?;
+        if def.attributes.values().any(|n| *n == name) {
+            return Err(RtiError::DuplicateName { name });
+        }
+        let handle = AttributeHandle::from_raw(self.next_attribute);
+        self.next_attribute += 1;
+        def.attributes.insert(handle, name);
+        Ok(handle)
+    }
+
+    /// Declares an interaction class.
+    pub fn add_interaction_class(&mut self, name: impl Into<String>) -> InteractionClassHandle {
+        let handle = InteractionClassHandle::from_raw(self.next_interaction);
+        self.next_interaction += 1;
+        self.interactions.insert(
+            handle,
+            InteractionClassDef {
+                name: name.into(),
+                parameters: BTreeMap::new(),
+            },
+        );
+        handle
+    }
+
+    /// Declares a parameter of interaction `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for an undeclared interaction and
+    /// [`RtiError::DuplicateName`] for a repeated parameter name.
+    pub fn add_parameter(
+        &mut self,
+        class: InteractionClassHandle,
+        name: impl Into<String>,
+    ) -> Result<ParameterHandle, RtiError> {
+        let name = name.into();
+        let def = self
+            .interactions
+            .get_mut(&class)
+            .ok_or(RtiError::UnknownHandle)?;
+        if def.parameters.values().any(|n| *n == name) {
+            return Err(RtiError::DuplicateName { name });
+        }
+        let handle = ParameterHandle::from_raw(self.next_parameter);
+        self.next_parameter += 1;
+        def.parameters.insert(handle, name);
+        Ok(handle)
+    }
+
+    /// Looks up an object class by name (first declared wins).
+    #[must_use]
+    pub fn object_class_by_name(&self, name: &str) -> Option<ObjectClassHandle> {
+        self.object_classes
+            .iter()
+            .find(|(_, def)| def.name == name)
+            .map(|(h, _)| *h)
+    }
+
+    /// Looks up an attribute of `class` by name.
+    #[must_use]
+    pub fn attribute_by_name(
+        &self,
+        class: ObjectClassHandle,
+        name: &str,
+    ) -> Option<AttributeHandle> {
+        self.object_classes
+            .get(&class)?
+            .attributes
+            .iter()
+            .find_map(|(h, n)| if n == name { Some(*h) } else { None })
+    }
+
+    /// Looks up an interaction class by name.
+    #[must_use]
+    pub fn interaction_by_name(&self, name: &str) -> Option<InteractionClassHandle> {
+        self.interactions
+            .iter()
+            .find(|(_, def)| def.name == name)
+            .map(|(h, _)| *h)
+    }
+
+    /// The name of an object class.
+    #[must_use]
+    pub fn object_class_name(&self, class: ObjectClassHandle) -> Option<&str> {
+        self.object_classes.get(&class).map(|d| d.name.as_str())
+    }
+
+    /// Whether `class` is declared.
+    #[must_use]
+    pub fn has_object_class(&self, class: ObjectClassHandle) -> bool {
+        self.object_classes.contains_key(&class)
+    }
+
+    /// Whether `interaction` is declared.
+    #[must_use]
+    pub fn has_interaction(&self, interaction: InteractionClassHandle) -> bool {
+        self.interactions.contains_key(&interaction)
+    }
+
+    /// Whether `attribute` belongs to `class`.
+    #[must_use]
+    pub fn class_has_attribute(
+        &self,
+        class: ObjectClassHandle,
+        attribute: AttributeHandle,
+    ) -> bool {
+        self.object_classes
+            .get(&class)
+            .is_some_and(|d| d.attributes.contains_key(&attribute))
+    }
+
+    /// All attributes of `class`.
+    #[must_use]
+    pub fn attributes_of(&self, class: ObjectClassHandle) -> Vec<AttributeHandle> {
+        self.object_classes
+            .get(&class)
+            .map(|d| d.attributes.keys().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_classes_and_attributes() {
+        let mut fom = ObjectModel::new();
+        let mn = fom.add_object_class("MobileNode");
+        let pos = fom.add_attribute(mn, "position").unwrap();
+        assert!(fom.has_object_class(mn));
+        assert!(fom.class_has_attribute(mn, pos));
+        assert_eq!(fom.object_class_name(mn), Some("MobileNode"));
+        assert_eq!(fom.attributes_of(mn), vec![pos]);
+    }
+
+    #[test]
+    fn duplicate_attribute_names_rejected() {
+        let mut fom = ObjectModel::new();
+        let mn = fom.add_object_class("MobileNode");
+        fom.add_attribute(mn, "position").unwrap();
+        assert!(matches!(
+            fom.add_attribute(mn, "position"),
+            Err(RtiError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_on_unknown_class_rejected() {
+        let mut fom = ObjectModel::new();
+        let ghost = ObjectClassHandle::from_raw(99);
+        assert_eq!(fom.add_attribute(ghost, "x"), Err(RtiError::UnknownHandle));
+    }
+
+    #[test]
+    fn interactions_and_parameters() {
+        let mut fom = ObjectModel::new();
+        let hello = fom.add_interaction_class("Hello");
+        let who = fom.add_parameter(hello, "who").unwrap();
+        assert!(fom.has_interaction(hello));
+        assert_eq!(fom.interaction_by_name("Hello"), Some(hello));
+        assert!(fom.add_parameter(hello, "who").is_err());
+        let _ = who;
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let mut fom = ObjectModel::new();
+        let a = fom.add_object_class("A");
+        let b = fom.add_object_class("B");
+        assert_eq!(fom.object_class_by_name("A"), Some(a));
+        assert_eq!(fom.object_class_by_name("B"), Some(b));
+        assert_eq!(fom.object_class_by_name("C"), None);
+        let ax = fom.add_attribute(a, "x").unwrap();
+        assert_eq!(fom.attribute_by_name(a, "x"), Some(ax));
+        assert_eq!(fom.attribute_by_name(b, "x"), None);
+    }
+
+    #[test]
+    fn handles_are_globally_unique() {
+        let mut fom = ObjectModel::new();
+        let a = fom.add_object_class("A");
+        let b = fom.add_object_class("B");
+        let ax = fom.add_attribute(a, "x").unwrap();
+        let bx = fom.add_attribute(b, "x").unwrap();
+        assert_ne!(ax, bx);
+        assert!(!fom.class_has_attribute(a, bx));
+    }
+}

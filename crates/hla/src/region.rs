@@ -1,0 +1,150 @@
+//! Routing regions for data distribution management (DDM).
+//!
+//! HLA 1.3's DDM service lets a subscriber declare *where* in a routing
+//! space it is interested: an update tagged with a region is delivered only
+//! to subscribers whose regions overlap. It is the RTI-level counterpart of
+//! the paper's theme — interest-based traffic reduction — and lets a grid
+//! broker subscribe to one campus area instead of every node everywhere.
+
+use crate::RtiError;
+
+/// An axis-aligned box in the federation's routing space.
+///
+/// Dimensionality is fixed per federation by the first region created; the
+/// campus experiments use two dimensions (x, y in metres).
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_hla::RoutingRegion;
+///
+/// let west = RoutingRegion::rectangle(0.0, 250.0, 0.0, 450.0).unwrap();
+/// let east = RoutingRegion::rectangle(250.0, 500.0, 0.0, 450.0).unwrap();
+/// assert!(west.overlaps(&east)); // they share the x = 250 boundary
+/// let p = RoutingRegion::point(&[100.0, 100.0]);
+/// assert!(west.overlaps(&p));
+/// assert!(!east.overlaps(&p));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingRegion {
+    /// Inclusive `(lower, upper)` extent per dimension.
+    extents: Vec<(f64, f64)>,
+}
+
+impl RoutingRegion {
+    /// Creates a region from per-dimension `(lower, upper)` extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidRegion`] for empty extents, non-finite
+    /// bounds, or inverted intervals.
+    pub fn new(extents: Vec<(f64, f64)>) -> Result<Self, RtiError> {
+        if extents.is_empty() {
+            return Err(RtiError::InvalidRegion {
+                reason: "region needs at least one dimension".to_string(),
+            });
+        }
+        for (lo, hi) in &extents {
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(RtiError::InvalidRegion {
+                    reason: format!("bad extent ({lo}, {hi})"),
+                });
+            }
+        }
+        Ok(RoutingRegion { extents })
+    }
+
+    /// Convenience constructor for the 2-D case.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RoutingRegion::new`].
+    pub fn rectangle(x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64) -> Result<Self, RtiError> {
+        RoutingRegion::new(vec![(x_lo, x_hi), (y_lo, y_hi)])
+    }
+
+    /// A degenerate region containing exactly one point — how an update at
+    /// a known location is tagged.
+    #[must_use]
+    pub fn point(coordinates: &[f64]) -> Self {
+        RoutingRegion {
+            extents: coordinates.iter().map(|&c| (c, c)).collect(),
+        }
+    }
+
+    /// Number of routing-space dimensions.
+    #[must_use]
+    pub fn dimensions(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The per-dimension extents.
+    #[must_use]
+    pub fn extents(&self) -> &[(f64, f64)] {
+        &self.extents
+    }
+
+    /// Whether two regions share any point. Regions of different
+    /// dimensionality never overlap (they live in different routing
+    /// spaces).
+    #[must_use]
+    pub fn overlaps(&self, other: &RoutingRegion) -> bool {
+        self.extents.len() == other.extents.len()
+            && self
+                .extents
+                .iter()
+                .zip(&other.extents)
+                .all(|((alo, ahi), (blo, bhi))| alo <= bhi && ahi >= blo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_definitions() {
+        assert!(RoutingRegion::new(vec![]).is_err());
+        assert!(RoutingRegion::new(vec![(1.0, 0.0)]).is_err());
+        assert!(RoutingRegion::new(vec![(0.0, f64::INFINITY)]).is_err());
+        assert!(RoutingRegion::new(vec![(0.0, 0.0)]).is_ok());
+    }
+
+    #[test]
+    fn overlap_is_inclusive_at_boundaries() {
+        let a = RoutingRegion::rectangle(0.0, 1.0, 0.0, 1.0).unwrap();
+        let b = RoutingRegion::rectangle(1.0, 2.0, 0.0, 1.0).unwrap();
+        let c = RoutingRegion::rectangle(1.1, 2.0, 0.0, 1.0).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn overlap_requires_all_dimensions() {
+        let a = RoutingRegion::rectangle(0.0, 1.0, 0.0, 1.0).unwrap();
+        let b = RoutingRegion::rectangle(0.0, 1.0, 2.0, 3.0).unwrap();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn dimension_mismatch_never_overlaps() {
+        let a = RoutingRegion::new(vec![(0.0, 10.0)]).unwrap();
+        let b = RoutingRegion::rectangle(0.0, 10.0, 0.0, 10.0).unwrap();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn point_regions_work_like_points() {
+        let area = RoutingRegion::rectangle(0.0, 10.0, 0.0, 10.0).unwrap();
+        assert!(area.overlaps(&RoutingRegion::point(&[5.0, 5.0])));
+        assert!(!area.overlaps(&RoutingRegion::point(&[5.0, 11.0])));
+        assert_eq!(RoutingRegion::point(&[1.0, 2.0]).dimensions(), 2);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = RoutingRegion::rectangle(0.0, 5.0, 0.0, 5.0).unwrap();
+        let b = RoutingRegion::rectangle(3.0, 8.0, 3.0, 8.0).unwrap();
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+}

@@ -1,0 +1,740 @@
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::federation::Federation;
+use crate::{
+    AttributeHandle, AttributeValues, Callback, FedTime, FederateHandle, InteractionClassHandle,
+    ObjectClassHandle, ObjectHandle, ObjectModel, ParameterValues, RegionHandle, RoutingRegion,
+    RtiError,
+};
+
+#[derive(Default)]
+struct RtiCore {
+    federations: BTreeMap<String, Federation>,
+}
+
+/// The RTI executive: creates federation executions and admits federates.
+///
+/// Cloning an `Rti` yields another handle to the same executive (the core is
+/// shared behind a mutex), so federates can run from multiple threads.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_hla::{ObjectModel, Rti};
+///
+/// let rti = Rti::new();
+/// rti.create_federation("exp", ObjectModel::new()).unwrap();
+/// let fed = rti.join("exp", "observer").unwrap();
+/// assert_eq!(fed.name(), "observer");
+/// ```
+#[derive(Clone, Default)]
+pub struct Rti {
+    core: Arc<Mutex<RtiCore>>,
+}
+
+impl std::fmt::Debug for Rti {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.core.lock();
+        f.debug_struct("Rti")
+            .field("federations", &core.federations.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Rti {
+    /// Creates an executive with no federation executions.
+    #[must_use]
+    pub fn new() -> Self {
+        Rti::default()
+    }
+
+    /// Creates a federation execution governed by `fom`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::FederationAlreadyExists`] when the name is taken.
+    pub fn create_federation(
+        &self,
+        name: impl Into<String>,
+        fom: ObjectModel,
+    ) -> Result<(), RtiError> {
+        let name = name.into();
+        let mut core = self.core.lock();
+        if core.federations.contains_key(&name) {
+            return Err(RtiError::FederationAlreadyExists { name });
+        }
+        core.federations.insert(name, Federation::new(fom));
+        Ok(())
+    }
+
+    /// Destroys a federation execution. In HLA this requires all federates
+    /// to have resigned; here any remaining federates are dropped with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownFederation`] when no such execution
+    /// exists.
+    pub fn destroy_federation(&self, name: &str) -> Result<(), RtiError> {
+        let mut core = self.core.lock();
+        core.federations
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RtiError::UnknownFederation {
+                name: name.to_string(),
+            })
+    }
+
+    /// Joins a federate to an execution, returning its service handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownFederation`] when no such execution
+    /// exists.
+    pub fn join(
+        &self,
+        federation: impl Into<String>,
+        federate_name: impl Into<String>,
+    ) -> Result<Federate, RtiError> {
+        let federation = federation.into();
+        let federate_name = federate_name.into();
+        let mut core = self.core.lock();
+        let fed_exec =
+            core.federations
+                .get_mut(&federation)
+                .ok_or_else(|| RtiError::UnknownFederation {
+                    name: federation.clone(),
+                })?;
+        let handle = fed_exec.join(&federate_name);
+        Ok(Federate {
+            core: Arc::clone(&self.core),
+            federation,
+            handle,
+            name: federate_name,
+        })
+    }
+
+    /// Number of federates currently joined to `federation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownFederation`] when no such execution
+    /// exists.
+    pub fn federate_count(&self, federation: &str) -> Result<usize, RtiError> {
+        let core = self.core.lock();
+        core.federations
+            .get(federation)
+            .map(Federation::federate_count)
+            .ok_or_else(|| RtiError::UnknownFederation {
+                name: federation.to_string(),
+            })
+    }
+
+    /// Names of the federates currently joined to `federation`, in join
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownFederation`] when no such execution
+    /// exists.
+    pub fn federate_names(&self, federation: &str) -> Result<Vec<String>, RtiError> {
+        let core = self.core.lock();
+        core.federations
+            .get(federation)
+            .map(Federation::federate_names)
+            .ok_or_else(|| RtiError::UnknownFederation {
+                name: federation.to_string(),
+            })
+    }
+}
+
+/// A joined federate's service handle — the RTI-ambassador surface.
+///
+/// All RTI services the paper's simulation needs hang off this type; see the
+/// [crate docs](crate) for a full walkthrough.
+pub struct Federate {
+    core: Arc<Mutex<RtiCore>>,
+    federation: String,
+    handle: FederateHandle,
+    name: String,
+}
+
+impl std::fmt::Debug for Federate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Federate")
+            .field("federation", &self.federation)
+            .field("handle", &self.handle)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Federate {
+    fn with<R>(
+        &self,
+        f: impl FnOnce(&mut Federation) -> Result<R, RtiError>,
+    ) -> Result<R, RtiError> {
+        let mut core = self.core.lock();
+        let fed_exec = core.federations.get_mut(&self.federation).ok_or_else(|| {
+            RtiError::UnknownFederation {
+                name: self.federation.clone(),
+            }
+        })?;
+        f(fed_exec)
+    }
+
+    /// The federate's name as supplied at join time.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The RTI-issued federate handle.
+    #[must_use]
+    pub fn handle(&self) -> FederateHandle {
+        self.handle
+    }
+
+    /// The federation this federate is joined to.
+    #[must_use]
+    pub fn federation(&self) -> &str {
+        &self.federation
+    }
+
+    /// A copy of the federation object model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownFederation`] if the execution was
+    /// destroyed.
+    pub fn fom(&self) -> Result<ObjectModel, RtiError> {
+        self.with(|fed| Ok(fed.fom().clone()))
+    }
+
+    /// Resigns from the federation, deleting owned objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::NotJoined`] when already resigned.
+    pub fn resign(&self) -> Result<(), RtiError> {
+        self.with(|fed| fed.resign(self.handle))
+    }
+
+    /// Declares intent to register instances / update attributes of `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for classes missing from the FOM.
+    pub fn publish_object_class(&self, class: ObjectClassHandle) -> Result<(), RtiError> {
+        self.with(|fed| fed.publish_object_class(self.handle, class))
+    }
+
+    /// Subscribes to reflections of the given attributes of `class`; also
+    /// delivers discoveries of existing instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for unknown class/attributes.
+    pub fn subscribe_object_class(
+        &self,
+        class: ObjectClassHandle,
+        attributes: &[AttributeHandle],
+    ) -> Result<(), RtiError> {
+        self.with(|fed| fed.subscribe_object_class(self.handle, class, attributes))
+    }
+
+    /// Creates a DDM routing region owned by this federate.
+    ///
+    /// The first region created fixes the federation's routing-space
+    /// dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidRegion`] for malformed regions or a
+    /// dimensionality mismatch with the routing space.
+    pub fn create_region(&self, region: RoutingRegion) -> Result<RegionHandle, RtiError> {
+        self.with(|fed| fed.create_region(self.handle, region))
+    }
+
+    /// Replaces an owned region's extents (e.g. tracking a moving area of
+    /// interest). The dimensionality must not change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidRegion`] for unknown/foreign regions or a
+    /// dimensionality change.
+    pub fn modify_region(
+        &self,
+        handle: RegionHandle,
+        region: RoutingRegion,
+    ) -> Result<(), RtiError> {
+        self.with(|fed| fed.modify_region(self.handle, handle, region))
+    }
+
+    /// Subscribes to `class` with interest limited to an owned routing
+    /// region: updates tagged with a non-overlapping region are not
+    /// delivered.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Federate::subscribe_object_class`], plus
+    /// [`RtiError::InvalidRegion`] for unknown/foreign regions.
+    pub fn subscribe_object_class_with_region(
+        &self,
+        class: ObjectClassHandle,
+        attributes: &[AttributeHandle],
+        region: RegionHandle,
+    ) -> Result<(), RtiError> {
+        self.with(|fed| {
+            fed.subscribe_object_class_scoped(self.handle, class, attributes, Some(region))
+        })
+    }
+
+    /// Updates attribute values tagged with an owned routing region, so
+    /// region-scoped subscribers only see it when their interest overlaps.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Federate::update_attributes`], plus
+    /// [`RtiError::InvalidRegion`] for unknown/foreign regions.
+    pub fn update_attributes_with_region(
+        &self,
+        object: ObjectHandle,
+        values: Vec<(AttributeHandle, Vec<u8>)>,
+        region: RegionHandle,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        let values: AttributeValues = values
+            .into_iter()
+            .map(|(a, v)| (a, Bytes::from(v)))
+            .collect();
+        self.with(|fed| {
+            fed.update_attributes_scoped(self.handle, object, values, Some(region), time)
+        })
+    }
+
+    /// Declares intent to send interaction `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for interactions missing from the
+    /// FOM.
+    pub fn publish_interaction(&self, class: InteractionClassHandle) -> Result<(), RtiError> {
+        self.with(|fed| fed.publish_interaction(self.handle, class))
+    }
+
+    /// Subscribes to interaction `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownHandle`] for interactions missing from the
+    /// FOM.
+    pub fn subscribe_interaction(&self, class: InteractionClassHandle) -> Result<(), RtiError> {
+        self.with(|fed| fed.subscribe_interaction(self.handle, class))
+    }
+
+    /// Registers a new object instance of a published `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::NotPublished`] when the class was not published.
+    pub fn register_object(&self, class: ObjectClassHandle) -> Result<ObjectHandle, RtiError> {
+        self.with(|fed| fed.register_object(self.handle, class))
+    }
+
+    /// Deletes an owned object instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::UnknownObject`] / [`RtiError::NotPublished`] for
+    /// unknown or foreign objects.
+    pub fn delete_object(&self, object: ObjectHandle) -> Result<(), RtiError> {
+        self.with(|fed| fed.delete_object(self.handle, object))
+    }
+
+    /// Updates attribute values of an owned object. With `time = Some(t)`
+    /// and this federate time-regulating, delivery to time-constrained
+    /// subscribers is timestamp-ordered at `t`; otherwise receive-ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidTime`] when `t` violates the lookahead
+    /// promise, plus the object/handle errors of
+    /// [`Federate::register_object`].
+    pub fn update_attributes(
+        &self,
+        object: ObjectHandle,
+        values: Vec<(AttributeHandle, Vec<u8>)>,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        let values: AttributeValues = values
+            .into_iter()
+            .map(|(a, v)| (a, Bytes::from(v)))
+            .collect();
+        self.with(|fed| fed.update_attributes(self.handle, object, values, time))
+    }
+
+    /// Sends an interaction of a published `class`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Federate::update_attributes`].
+    pub fn send_interaction(
+        &self,
+        class: InteractionClassHandle,
+        values: Vec<(crate::ParameterHandle, Vec<u8>)>,
+        time: Option<FedTime>,
+    ) -> Result<(), RtiError> {
+        let values: ParameterValues = values
+            .into_iter()
+            .map(|(p, v)| (p, Bytes::from(v)))
+            .collect();
+        self.with(|fed| fed.send_interaction(self.handle, class, values, time))
+    }
+
+    /// Becomes time-regulating with the given lookahead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::TimeAlreadyEnabled`] when already regulating.
+    pub fn enable_time_regulation(&self, lookahead: FedTime) -> Result<(), RtiError> {
+        self.with(|fed| fed.enable_time_regulation(self.handle, lookahead))
+    }
+
+    /// Becomes time-constrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::TimeAlreadyEnabled`] when already constrained.
+    pub fn enable_time_constrained(&self) -> Result<(), RtiError> {
+        self.with(|fed| fed.enable_time_constrained(self.handle))
+    }
+
+    /// Requests a time advance to `to`; the grant arrives as a
+    /// [`Callback::TimeAdvanceGrant`] once safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::AdvanceAlreadyPending`] / [`RtiError::InvalidTime`]
+    /// per the HLA time-management rules.
+    pub fn request_time_advance(&self, to: FedTime) -> Result<(), RtiError> {
+        self.with(|fed| fed.request_time_advance(self.handle, to))
+    }
+
+    /// This federate's current granted time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::NotJoined`] after resignation.
+    pub fn time(&self) -> Result<FedTime, RtiError> {
+        self.with(|fed| fed.federate_time(self.handle))
+    }
+
+    /// Announces a federation-wide synchronization point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidSyncPoint`] for duplicate labels.
+    pub fn register_sync_point(&self, label: &str) -> Result<(), RtiError> {
+        self.with(|fed| fed.register_sync_point(self.handle, label))
+    }
+
+    /// Marks this federate as having achieved the labelled point; when the
+    /// last federate achieves it, everyone receives
+    /// [`Callback::FederationSynchronized`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::InvalidSyncPoint`] for unannounced labels.
+    pub fn achieve_sync_point(&self, label: &str) -> Result<(), RtiError> {
+        self.with(|fed| fed.achieve_sync_point(self.handle, label))
+    }
+
+    /// Drains and returns the pending callbacks, in delivery order — the
+    /// HLA `tick()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtiError::NotJoined`] after resignation.
+    pub fn tick(&self) -> Result<Vec<Callback>, RtiError> {
+        self.with(|fed| fed.drain_callbacks(self.handle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fom_with_node() -> (ObjectModel, ObjectClassHandle, AttributeHandle) {
+        let mut fom = ObjectModel::new();
+        let mn = fom.add_object_class("MobileNode");
+        let pos = fom.add_attribute(mn, "position").unwrap();
+        (fom, mn, pos)
+    }
+
+    #[test]
+    fn create_join_resign_lifecycle() {
+        let (fom, ..) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        assert!(matches!(
+            rti.create_federation("f", ObjectModel::new()),
+            Err(RtiError::FederationAlreadyExists { .. })
+        ));
+        let a = rti.join("f", "a").unwrap();
+        assert_eq!(rti.federate_count("f").unwrap(), 1);
+        a.resign().unwrap();
+        assert_eq!(rti.federate_count("f").unwrap(), 0);
+        assert_eq!(a.resign(), Err(RtiError::NotJoined));
+        rti.destroy_federation("f").unwrap();
+        assert!(matches!(
+            rti.destroy_federation("f"),
+            Err(RtiError::UnknownFederation { .. })
+        ));
+    }
+
+    #[test]
+    fn federate_names_listed_in_join_order() {
+        let rti = Rti::new();
+        rti.create_federation("f", ObjectModel::new()).unwrap();
+        let _a = rti.join("f", "alpha").unwrap();
+        let _b = rti.join("f", "beta").unwrap();
+        assert_eq!(rti.federate_names("f").unwrap(), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn join_unknown_federation_fails() {
+        let rti = Rti::new();
+        assert!(matches!(
+            rti.join("ghost", "x"),
+            Err(RtiError::UnknownFederation { .. })
+        ));
+    }
+
+    #[test]
+    fn discover_and_reflect_receive_order() {
+        let (fom, mn, pos) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let sender = rti.join("f", "sender").unwrap();
+        let receiver = rti.join("f", "receiver").unwrap();
+
+        sender.publish_object_class(mn).unwrap();
+        receiver.subscribe_object_class(mn, &[pos]).unwrap();
+        let obj = sender.register_object(mn).unwrap();
+
+        let events = receiver.tick().unwrap();
+        assert!(matches!(
+            events.as_slice(),
+            [Callback::DiscoverObject { object, .. }] if *object == obj
+        ));
+
+        sender
+            .update_attributes(obj, vec![(pos, b"1,2".to_vec())], None)
+            .unwrap();
+        let events = receiver.tick().unwrap();
+        match events.as_slice() {
+            [Callback::ReflectAttributes {
+                object,
+                values,
+                time,
+            }] => {
+                assert_eq!(*object, obj);
+                assert_eq!(values[0].1.as_ref(), b"1,2");
+                assert!(time.is_none());
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn late_subscriber_discovers_existing_objects() {
+        let (fom, mn, pos) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let sender = rti.join("f", "sender").unwrap();
+        sender.publish_object_class(mn).unwrap();
+        let obj = sender.register_object(mn).unwrap();
+
+        let late = rti.join("f", "late").unwrap();
+        late.subscribe_object_class(mn, &[pos]).unwrap();
+        let events = late.tick().unwrap();
+        assert!(matches!(
+            events.as_slice(),
+            [Callback::DiscoverObject { object, .. }] if *object == obj
+        ));
+    }
+
+    #[test]
+    fn unsubscribed_attributes_are_filtered() {
+        let mut fom = ObjectModel::new();
+        let mn = fom.add_object_class("MobileNode");
+        let pos = fom.add_attribute(mn, "position").unwrap();
+        let bat = fom.add_attribute(mn, "battery").unwrap();
+
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let sender = rti.join("f", "sender").unwrap();
+        let receiver = rti.join("f", "receiver").unwrap();
+        sender.publish_object_class(mn).unwrap();
+        receiver.subscribe_object_class(mn, &[pos]).unwrap();
+        let obj = sender.register_object(mn).unwrap();
+        receiver.tick().unwrap(); // drain discover
+
+        // Battery-only update: the receiver must see nothing.
+        sender
+            .update_attributes(obj, vec![(bat, b"77".to_vec())], None)
+            .unwrap();
+        assert!(receiver.tick().unwrap().is_empty());
+
+        // Mixed update: only the subscribed attribute arrives.
+        sender
+            .update_attributes(obj, vec![(pos, b"1".to_vec()), (bat, b"66".to_vec())], None)
+            .unwrap();
+        let events = receiver.tick().unwrap();
+        match events.as_slice() {
+            [Callback::ReflectAttributes { values, .. }] => {
+                assert_eq!(values.len(), 1);
+                assert_eq!(values[0].0, pos);
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn updating_foreign_object_is_rejected() {
+        let (fom, mn, pos) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let a = rti.join("f", "a").unwrap();
+        let b = rti.join("f", "b").unwrap();
+        a.publish_object_class(mn).unwrap();
+        b.publish_object_class(mn).unwrap();
+        let obj = a.register_object(mn).unwrap();
+        assert_eq!(
+            b.update_attributes(obj, vec![(pos, vec![1])], None),
+            Err(RtiError::NotPublished)
+        );
+    }
+
+    #[test]
+    fn tso_delivery_waits_for_grant_and_orders_by_timestamp() {
+        let (fom, mn, pos) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let sender = rti.join("f", "sender").unwrap();
+        let receiver = rti.join("f", "receiver").unwrap();
+        sender.publish_object_class(mn).unwrap();
+        receiver.subscribe_object_class(mn, &[pos]).unwrap();
+        sender.enable_time_regulation(FedTime::ZERO).unwrap();
+        receiver.enable_time_constrained().unwrap();
+        let obj = sender.register_object(mn).unwrap();
+        receiver.tick().unwrap();
+
+        // Send t=2 then t=1: TSO must reorder.
+        sender
+            .update_attributes(
+                obj,
+                vec![(pos, b"late".to_vec())],
+                Some(FedTime::from_secs(2)),
+            )
+            .unwrap();
+        sender
+            .update_attributes(
+                obj,
+                vec![(pos, b"early".to_vec())],
+                Some(FedTime::from_secs(1)),
+            )
+            .unwrap();
+
+        // Nothing delivered before a grant.
+        assert!(receiver.tick().unwrap().is_empty());
+
+        sender.request_time_advance(FedTime::from_secs(3)).unwrap();
+        receiver
+            .request_time_advance(FedTime::from_secs(3))
+            .unwrap();
+        let events = receiver.tick().unwrap();
+        let payloads: Vec<&[u8]> = events
+            .iter()
+            .filter_map(|e| match e {
+                Callback::ReflectAttributes { values, .. } => Some(values[0].1.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(payloads, vec![b"early".as_ref(), b"late".as_ref()]);
+        assert!(matches!(
+            events.last(),
+            Some(Callback::TimeAdvanceGrant { time }) if *time == FedTime::from_secs(3)
+        ));
+    }
+
+    #[test]
+    fn interactions_flow_to_subscribers() {
+        let mut fom = ObjectModel::new();
+        let ping = fom.add_interaction_class("Ping");
+        let payload = fom.add_parameter(ping, "payload").unwrap();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let a = rti.join("f", "a").unwrap();
+        let b = rti.join("f", "b").unwrap();
+        a.publish_interaction(ping).unwrap();
+        b.subscribe_interaction(ping).unwrap();
+        a.send_interaction(ping, vec![(payload, b"hi".to_vec())], None)
+            .unwrap();
+        let events = b.tick().unwrap();
+        assert!(matches!(
+            events.as_slice(),
+            [Callback::ReceiveInteraction { class, .. }] if *class == ping
+        ));
+    }
+
+    #[test]
+    fn sync_points_complete_when_all_achieve() {
+        let rti = Rti::new();
+        rti.create_federation("f", ObjectModel::new()).unwrap();
+        let a = rti.join("f", "a").unwrap();
+        let b = rti.join("f", "b").unwrap();
+        a.register_sync_point("ready").unwrap();
+        assert!(matches!(
+            a.tick().unwrap().as_slice(),
+            [Callback::SyncPointAnnounced { label }] if label == "ready"
+        ));
+        b.tick().unwrap();
+        a.achieve_sync_point("ready").unwrap();
+        assert!(a.tick().unwrap().is_empty());
+        b.achieve_sync_point("ready").unwrap();
+        assert!(matches!(
+            a.tick().unwrap().as_slice(),
+            [Callback::FederationSynchronized { label }] if label == "ready"
+        ));
+    }
+
+    #[test]
+    fn resign_deletes_owned_objects() {
+        let (fom, mn, pos) = fom_with_node();
+        let rti = Rti::new();
+        rti.create_federation("f", fom).unwrap();
+        let owner = rti.join("f", "owner").unwrap();
+        let watcher = rti.join("f", "watcher").unwrap();
+        owner.publish_object_class(mn).unwrap();
+        watcher.subscribe_object_class(mn, &[pos]).unwrap();
+        let obj = owner.register_object(mn).unwrap();
+        watcher.tick().unwrap();
+        owner.resign().unwrap();
+        assert!(matches!(
+            watcher.tick().unwrap().as_slice(),
+            [Callback::RemoveObject { object }] if *object == obj
+        ));
+    }
+
+    #[test]
+    fn rti_handles_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Rti>();
+        check::<Federate>();
+    }
+}

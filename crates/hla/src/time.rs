@@ -1,0 +1,147 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the federation time axis.
+///
+/// Stored as integer microseconds so grants, lookahead arithmetic and TSO
+/// ordering are exact — HLA's conservative algorithms are only correct when
+/// time comparisons are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FedTime {
+    micros: u64,
+}
+
+impl FedTime {
+    /// Federation time zero (the value joined federates start at).
+    pub const ZERO: FedTime = FedTime { micros: 0 };
+
+    /// The latest representable time.
+    pub const MAX: FedTime = FedTime { micros: u64::MAX };
+
+    /// Creates a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        FedTime { micros }
+    }
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        FedTime {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond; non-finite or negative values clamp to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return FedTime::ZERO;
+        }
+        FedTime {
+            micros: (secs * 1e6).round() as u64,
+        }
+    }
+
+    /// This time in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// This time in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Saturating addition (useful for `current + lookahead` bounds).
+    #[must_use]
+    pub const fn saturating_add(self, rhs: FedTime) -> FedTime {
+        FedTime {
+            micros: self.micros.saturating_add(rhs.micros),
+        }
+    }
+}
+
+impl Add for FedTime {
+    type Output = FedTime;
+
+    fn add(self, rhs: FedTime) -> FedTime {
+        FedTime {
+            micros: self
+                .micros
+                .checked_add(rhs.micros)
+                .expect("federation time overflow"),
+        }
+    }
+}
+
+impl Sub for FedTime {
+    type Output = FedTime;
+
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn sub(self, rhs: FedTime) -> FedTime {
+        FedTime {
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("federation time underflow"),
+        }
+    }
+}
+
+impl fmt::Display for FedTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact() {
+        let t = FedTime::from_secs_f64(2.5);
+        assert_eq!(t.as_micros(), 2_500_000);
+        assert_eq!(t, FedTime::from_micros(2_500_000));
+        assert_eq!(FedTime::from_secs(2), FedTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(FedTime::from_micros(1) > FedTime::ZERO);
+        assert!(FedTime::from_secs(1) < FedTime::from_secs_f64(1.0000005));
+    }
+
+    #[test]
+    fn negative_clamps_to_zero() {
+        assert_eq!(FedTime::from_secs_f64(-1.0), FedTime::ZERO);
+        assert_eq!(FedTime::from_secs_f64(f64::NAN), FedTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(
+            FedTime::MAX.saturating_add(FedTime::from_secs(1)),
+            FedTime::MAX
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = FedTime::from_secs(3);
+        let b = FedTime::from_secs(1);
+        assert_eq!(a + b, FedTime::from_secs(4));
+        assert_eq!(a - b, FedTime::from_secs(2));
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        assert_eq!(FedTime::from_secs_f64(1.5).to_string(), "t=1.500000");
+    }
+}

@@ -1,0 +1,203 @@
+//! Data distribution management: region-scoped interest is itself a form of
+//! location-update traffic reduction — the broker only hears about nodes in
+//! the campus area it cares about.
+
+use mobigrid_hla::{Callback, ObjectModel, RoutingRegion, Rti, RtiError};
+
+struct Setup {
+    sender: mobigrid_hla::Federate,
+    receiver: mobigrid_hla::Federate,
+    class: mobigrid_hla::ObjectClassHandle,
+    attr: mobigrid_hla::AttributeHandle,
+    object: mobigrid_hla::ObjectHandle,
+}
+
+fn setup() -> Setup {
+    let mut fom = ObjectModel::new();
+    let class = fom.add_object_class("MobileNode");
+    let attr = fom.add_attribute(class, "position").expect("fresh");
+    let rti = Rti::new();
+    rti.create_federation("ddm", fom).expect("fresh");
+    let sender = rti.join("ddm", "sender").expect("exists");
+    let receiver = rti.join("ddm", "receiver").expect("exists");
+    sender.publish_object_class(class).expect("declared");
+    let object = sender.register_object(class).expect("published");
+    Setup {
+        sender,
+        receiver,
+        class,
+        attr,
+        object,
+    }
+}
+
+fn reflections(fed: &mobigrid_hla::Federate) -> usize {
+    fed.tick()
+        .expect("joined")
+        .iter()
+        .filter(|c| matches!(c, Callback::ReflectAttributes { .. }))
+        .count()
+}
+
+#[test]
+fn region_scoped_subscription_filters_by_location() {
+    let s = setup();
+    // The receiver only cares about the west half of the campus.
+    let west = s
+        .receiver
+        .create_region(RoutingRegion::rectangle(0.0, 250.0, 0.0, 450.0).expect("valid"))
+        .expect("region created");
+    s.receiver
+        .subscribe_object_class_with_region(s.class, &[s.attr], west)
+        .expect("subscribed");
+    s.receiver.tick().expect("joined"); // drain discovery
+
+    // An update at x = 100 (inside the interest region) is delivered…
+    let at_100 = s
+        .sender
+        .create_region(RoutingRegion::point(&[100.0, 200.0]))
+        .expect("region created");
+    s.sender
+        .update_attributes_with_region(s.object, vec![(s.attr, b"west".to_vec())], at_100, None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 1);
+
+    // …an update at x = 400 is not…
+    let at_400 = s
+        .sender
+        .create_region(RoutingRegion::point(&[400.0, 200.0]))
+        .expect("region created");
+    s.sender
+        .update_attributes_with_region(s.object, vec![(s.attr, b"east".to_vec())], at_400, None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 0);
+
+    // …and an unscoped update means "everywhere", so it is delivered.
+    s.sender
+        .update_attributes(s.object, vec![(s.attr, b"anywhere".to_vec())], None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 1);
+}
+
+#[test]
+fn unscoped_subscription_receives_scoped_updates() {
+    let s = setup();
+    s.receiver
+        .subscribe_object_class(s.class, &[s.attr])
+        .expect("subscribed");
+    s.receiver.tick().expect("joined");
+
+    let anywhere = s
+        .sender
+        .create_region(RoutingRegion::point(&[999.0, 999.0]))
+        .expect("region created");
+    s.sender
+        .update_attributes_with_region(s.object, vec![(s.attr, b"x".to_vec())], anywhere, None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 1);
+}
+
+#[test]
+fn moving_interest_region_follows_the_subscriber() {
+    let s = setup();
+    let interest = s
+        .receiver
+        .create_region(RoutingRegion::rectangle(0.0, 10.0, 0.0, 10.0).expect("valid"))
+        .expect("region created");
+    s.receiver
+        .subscribe_object_class_with_region(s.class, &[s.attr], interest)
+        .expect("subscribed");
+    s.receiver.tick().expect("joined");
+
+    let far = s
+        .sender
+        .create_region(RoutingRegion::point(&[100.0, 100.0]))
+        .expect("region created");
+    s.sender
+        .update_attributes_with_region(s.object, vec![(s.attr, b"1".to_vec())], far, None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 0, "outside the initial interest");
+
+    // The receiver's area of interest moves over the update location.
+    s.receiver
+        .modify_region(
+            interest,
+            RoutingRegion::rectangle(90.0, 110.0, 90.0, 110.0).expect("valid"),
+        )
+        .expect("owned region");
+    s.sender
+        .update_attributes_with_region(s.object, vec![(s.attr, b"2".to_vec())], far, None)
+        .expect("owned");
+    assert_eq!(reflections(&s.receiver), 1, "inside the moved interest");
+}
+
+#[test]
+fn region_ownership_and_dimensions_are_enforced() {
+    let s = setup();
+    let foreign = s
+        .sender
+        .create_region(RoutingRegion::rectangle(0.0, 1.0, 0.0, 1.0).expect("valid"))
+        .expect("region created");
+    // The receiver cannot subscribe with the sender's region.
+    let err = s
+        .receiver
+        .subscribe_object_class_with_region(s.class, &[s.attr], foreign)
+        .unwrap_err();
+    assert!(matches!(err, RtiError::InvalidRegion { .. }));
+
+    // Dimensionality is fixed by the first region (2-D here).
+    let err = s
+        .receiver
+        .create_region(RoutingRegion::new(vec![(0.0, 1.0)]).expect("valid 1-D region"))
+        .unwrap_err();
+    assert!(matches!(err, RtiError::InvalidRegion { .. }));
+
+    // Modifying a foreign region is rejected too.
+    let err = s
+        .receiver
+        .modify_region(
+            foreign,
+            RoutingRegion::rectangle(0.0, 2.0, 0.0, 2.0).expect("valid"),
+        )
+        .unwrap_err();
+    assert!(matches!(err, RtiError::InvalidRegion { .. }));
+}
+
+#[test]
+fn ddm_reduces_reflected_traffic_for_a_patrolling_node() {
+    // A node sweeps across the campus; a west-half subscriber should see
+    // roughly half the updates — DDM as RTI-level traffic reduction.
+    let s = setup();
+    let west = s
+        .receiver
+        .create_region(RoutingRegion::rectangle(0.0, 250.0, 0.0, 450.0).expect("valid"))
+        .expect("region created");
+    s.receiver
+        .subscribe_object_class_with_region(s.class, &[s.attr], west)
+        .expect("subscribed");
+    s.receiver.tick().expect("joined");
+
+    let position = s
+        .sender
+        .create_region(RoutingRegion::point(&[0.0, 200.0]))
+        .expect("region created");
+    let mut delivered = 0usize;
+    let steps = 100;
+    for i in 0..steps {
+        let x = f64::from(i) * 5.0; // 0 → 495 m sweep
+        s.sender
+            .modify_region(position, RoutingRegion::point(&[x, 200.0]))
+            .expect("owned region");
+        s.sender
+            .update_attributes_with_region(
+                s.object,
+                vec![(s.attr, x.to_be_bytes().to_vec())],
+                position,
+                None,
+            )
+            .expect("owned");
+        delivered += reflections(&s.receiver);
+    }
+    // 0..=250 of a 0..495 sweep: 51 of 100 updates.
+    assert_eq!(delivered, 51);
+}

@@ -1,0 +1,258 @@
+use rand::{Rng, RngCore};
+
+use mobigrid_geo::{Point, Rect};
+
+use crate::{MobilityModel, MobilityPattern};
+
+/// Linear Movement State indoors: straight hallway legs between random
+/// targets inside a building footprint.
+///
+/// This realises the paper's observation (9) — "in the building, Tom moves
+/// toward a destination with continuous velocity, but some changes in
+/// direction occur in accordance with the structure of the hallway". The
+/// node picks a uniform random target in the rectangle, walks straight to it
+/// at constant speed, then picks the next target. Velocity is constant and
+/// direction changes are sparse, so the ADF classifier sees this as LMS —
+/// unlike [`RandomWalk`](crate::RandomWalk), which turns every second.
+///
+/// Table 1 assigns this pattern to 30 nodes (five per building) at
+/// ≤ 1.5 m/s.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), mobigrid_geo::GeoError> {
+/// use mobigrid_mobility::{IndoorWalker, MobilityModel};
+/// use mobigrid_geo::{Point, Rect};
+/// use rand::SeedableRng;
+///
+/// let hall = Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 40.0))?;
+/// let mut w = IndoorWalker::new(hall, Point::new(30.0, 20.0), 1.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// for _ in 0..300 {
+///     assert!(hall.contains(w.step(1.0, &mut rng)));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndoorWalker {
+    bounds: Rect,
+    position: Point,
+    target: Option<Point>,
+    speed: f64,
+    /// When set, the walking speed is redrawn from this range at the start
+    /// of each leg.
+    speed_range: Option<(f64, f64)>,
+}
+
+impl IndoorWalker {
+    /// Creates a walker in `bounds`, starting at `start` (clamped inside),
+    /// walking at `speed` m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed` is negative or non-finite.
+    #[must_use]
+    pub fn new(bounds: Rect, start: Point, speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be non-negative"
+        );
+        IndoorWalker {
+            bounds,
+            position: bounds.clamp_point(start),
+            target: None,
+            speed,
+            speed_range: None,
+        }
+    }
+
+    /// Creates a walker whose pace varies: each hallway leg draws a fresh
+    /// speed from `speed_range` (m/s). People do not cross a building at a
+    /// perfectly constant pace, and the Table-1 specification gives indoor
+    /// linear movers a range (≤ 1.5 m/s) rather than one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, non-positive or non-finite.
+    #[must_use]
+    pub fn with_speed_range(bounds: Rect, start: Point, speed_range: (f64, f64)) -> Self {
+        let (lo, hi) = speed_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo,
+            "speed range must be positive and ordered"
+        );
+        IndoorWalker {
+            bounds,
+            position: bounds.clamp_point(start),
+            target: None,
+            speed: (lo + hi) / 2.0,
+            speed_range: Some(speed_range),
+        }
+    }
+
+    /// The building footprint the walker stays inside.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The walking speed in m/s.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// The current leg's destination, if one is active.
+    #[must_use]
+    pub fn target(&self) -> Option<Point> {
+        self.target
+    }
+
+    fn pick_target(&mut self, rng: &mut dyn RngCore) -> Point {
+        let u: f64 = rng.gen();
+        let v: f64 = rng.gen();
+        self.bounds.point_at_uv(u, v)
+    }
+}
+
+impl MobilityModel for IndoorWalker {
+    fn step(&mut self, dt: f64, rng: &mut dyn RngCore) -> Point {
+        if dt <= 0.0 || self.speed == 0.0 {
+            return self.position;
+        }
+        let mut remaining = self.speed * dt;
+        while remaining > 0.0 {
+            let target = match self.target {
+                Some(t) => t,
+                None => {
+                    let t = self.pick_target(rng);
+                    self.target = Some(t);
+                    if let Some((lo, hi)) = self.speed_range {
+                        self.speed = rng.gen_range(lo..=hi);
+                    }
+                    t
+                }
+            };
+            let to_target = self.position.distance_to(target);
+            if remaining < to_target {
+                let t = remaining / to_target;
+                self.position = self.position.lerp(target, t);
+                remaining = 0.0;
+            } else {
+                self.position = target;
+                remaining -= to_target;
+                self.target = None;
+                if to_target == 0.0 {
+                    // Degenerate target (picked our own position): resample
+                    // next loop, but avoid spinning when bounds collapse to
+                    // a point.
+                    if self.bounds.area() == 0.0 {
+                        break;
+                    }
+                }
+            }
+        }
+        self.position
+    }
+
+    fn position(&self) -> Point {
+        self.position
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        MobilityPattern::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hall() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 40.0)).unwrap()
+    }
+
+    #[test]
+    fn stays_inside_the_building() {
+        let mut w = IndoorWalker::new(hall(), Point::new(30.0, 20.0), 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            assert!(hall().contains(w.step(1.0, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn moves_at_constant_speed_between_targets() {
+        let mut w = IndoorWalker::new(hall(), Point::new(30.0, 20.0), 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut prev = w.position();
+        for _ in 0..500 {
+            let p = w.step(1.0, &mut rng);
+            // Displacement is at most speed*dt (less only when a leg ends
+            // exactly at the target... it still continues to the next leg,
+            // so displacement can drop below the cap only via turning).
+            assert!(prev.distance_to(p) <= 1.5 + 1e-9);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn direction_changes_are_sparse() {
+        // Count direction changes > 30 degrees per step; hallway walking
+        // should turn far less often than once per step.
+        let mut w = IndoorWalker::new(hall(), Point::new(30.0, 20.0), 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev = w.position();
+        let mut prev_heading: Option<mobigrid_geo::Heading> = None;
+        let mut turns = 0;
+        let steps = 600;
+        for _ in 0..steps {
+            let p = w.step(1.0, &mut rng);
+            if let Some(h) = (p - prev).heading() {
+                if let Some(ph) = prev_heading {
+                    if ph.angle_to(h) > 30f64.to_radians() {
+                        turns += 1;
+                    }
+                }
+                prev_heading = Some(h);
+            }
+            prev = p;
+        }
+        assert!(turns < steps / 5, "turned {turns} times in {steps} steps");
+    }
+
+    #[test]
+    fn zero_speed_is_stationary() {
+        let mut w = IndoorWalker::new(hall(), Point::new(5.0, 5.0), 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(w.step(10.0, &mut rng), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn degenerate_bounds_do_not_hang() {
+        let point_rect = Rect::new(Point::new(3.0, 3.0), Point::new(3.0, 3.0)).unwrap();
+        let mut w = IndoorWalker::new(point_rect, Point::new(3.0, 3.0), 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(w.step(10.0, &mut rng), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut w = IndoorWalker::new(hall(), Point::new(30.0, 20.0), 1.5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| w.step(1.0, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn classified_as_linear() {
+        let w = IndoorWalker::new(hall(), Point::ORIGIN, 1.0);
+        assert_eq!(w.pattern(), MobilityPattern::Linear);
+    }
+}

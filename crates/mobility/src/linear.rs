@@ -1,0 +1,272 @@
+use rand::RngCore;
+
+use mobigrid_geo::{Point, Polyline};
+
+use crate::{MobilityModel, MobilityPattern};
+
+/// What a [`PathFollower`] does on reaching the end of its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Stop at the destination; [`MobilityModel::is_finished`] becomes true.
+    Once,
+    /// Turn around and walk the path in the opposite direction, forever —
+    /// how road nodes patrol their road in the Table-1 workload.
+    PingPong,
+}
+
+/// Linear Movement State (LMS): constant-speed travel along a route.
+///
+/// The node advances `speed · dt` metres of arc length per step. Roads nodes
+/// use [`LoopMode::PingPong`] to stay on their road for the whole
+/// experiment; scenario legs (Tom walking gate B → library) use
+/// [`LoopMode::Once`] and report finished on arrival.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::{LoopMode, MobilityModel, PathFollower};
+/// use mobigrid_geo::{Point, Polyline};
+/// use rand::SeedableRng;
+///
+/// let path = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+/// let mut m = PathFollower::new(path, 4.0, LoopMode::Once);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// m.step(1.0, &mut rng);
+/// assert_eq!(m.position(), Point::new(4.0, 0.0));
+/// m.step(2.0, &mut rng); // overshoots; clamped at the destination
+/// assert!(m.is_finished());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathFollower {
+    path: Polyline,
+    speed: f64,
+    mode: LoopMode,
+    /// Arc-length progress along the current traversal direction.
+    progress: f64,
+    /// False while travelling start→end, true while travelling end→start.
+    reversed: bool,
+    finished: bool,
+    traversals: u64,
+}
+
+impl PathFollower {
+    /// Creates a follower at the start of `path` moving at `speed` m/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed` is negative or non-finite.
+    #[must_use]
+    pub fn new(path: Polyline, speed: f64, mode: LoopMode) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be non-negative"
+        );
+        PathFollower {
+            path,
+            speed,
+            mode,
+            progress: 0.0,
+            reversed: false,
+            finished: false,
+            traversals: 0,
+        }
+    }
+
+    /// Number of end-to-end traversals completed so far (each ping-pong
+    /// reversal counts one). Lets callers resample per-traversal parameters
+    /// such as speed.
+    #[must_use]
+    pub fn completed_traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// The route being followed.
+    #[must_use]
+    pub fn path(&self) -> &Polyline {
+        &self.path
+    }
+
+    /// The travel speed in m/s.
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Changes the travel speed (e.g. a vehicle resampling per traversal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speed` is negative or non-finite.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be non-negative"
+        );
+        self.speed = speed;
+    }
+
+    /// Arc-length progress from the start of the current traversal.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        self.progress
+    }
+
+    fn current_position(&self) -> Point {
+        let s = if self.reversed {
+            self.path.length() - self.progress
+        } else {
+            self.progress
+        };
+        self.path.point_at_distance(s)
+    }
+}
+
+impl MobilityModel for PathFollower {
+    fn step(&mut self, dt: f64, _rng: &mut dyn RngCore) -> Point {
+        if dt <= 0.0 || self.finished {
+            return self.current_position();
+        }
+        let total = self.path.length();
+        let mut remaining = self.speed * dt;
+        while remaining > 0.0 {
+            let to_end = total - self.progress;
+            if remaining < to_end {
+                self.progress += remaining;
+                remaining = 0.0;
+            } else {
+                remaining -= to_end;
+                self.progress = total;
+                self.traversals += 1;
+                match self.mode {
+                    LoopMode::Once => {
+                        self.finished = true;
+                        break;
+                    }
+                    LoopMode::PingPong => {
+                        // Turn around and spend the remainder going back.
+                        self.reversed = !self.reversed;
+                        self.progress = 0.0;
+                        if total == 0.0 {
+                            break; // degenerate path: avoid spinning forever
+                        }
+                    }
+                }
+            }
+        }
+        self.current_position()
+    }
+
+    fn position(&self) -> Point {
+        self.current_position()
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        MobilityPattern::Linear
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn ell() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn advances_by_speed_times_dt() {
+        let mut m = PathFollower::new(ell(), 3.0, LoopMode::Once);
+        let mut r = rng();
+        assert_eq!(m.step(1.0, &mut r), Point::new(3.0, 0.0));
+        assert_eq!(m.step(1.0, &mut r), Point::new(6.0, 0.0));
+    }
+
+    #[test]
+    fn crosses_leg_boundaries_smoothly() {
+        let mut m = PathFollower::new(ell(), 4.0, LoopMode::Once);
+        let mut r = rng();
+        m.step(3.0, &mut r); // 12 m along a 15 m path: 2 m up the second leg
+        assert_eq!(m.position(), Point::new(10.0, 2.0));
+    }
+
+    #[test]
+    fn once_mode_finishes_and_clamps() {
+        let mut m = PathFollower::new(ell(), 10.0, LoopMode::Once);
+        let mut r = rng();
+        m.step(5.0, &mut r);
+        assert!(m.is_finished());
+        assert_eq!(m.position(), Point::new(10.0, 5.0));
+        // Further steps do nothing.
+        assert_eq!(m.step(1.0, &mut r), Point::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn ping_pong_bounces_between_endpoints() {
+        let path = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+        let mut m = PathFollower::new(path, 1.0, LoopMode::PingPong);
+        let mut r = rng();
+        for _ in 0..10 {
+            m.step(1.0, &mut r);
+        }
+        assert_eq!(m.position(), Point::new(10.0, 0.0));
+        for _ in 0..4 {
+            m.step(1.0, &mut r);
+        }
+        assert_eq!(m.position(), Point::new(6.0, 0.0));
+        assert!(!m.is_finished());
+    }
+
+    #[test]
+    fn ping_pong_handles_overshoot_across_turnaround() {
+        let path = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]).unwrap();
+        let mut m = PathFollower::new(path, 4.0, LoopMode::PingPong);
+        let mut r = rng();
+        m.step(3.0, &mut r); // 12 m: reaches end (10) and walks 2 m back
+        assert_eq!(m.position(), Point::new(8.0, 0.0));
+    }
+
+    #[test]
+    fn zero_speed_never_moves() {
+        let mut m = PathFollower::new(ell(), 0.0, LoopMode::PingPong);
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(m.step(1.0, &mut r), Point::new(0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn set_speed_takes_effect() {
+        let mut m = PathFollower::new(ell(), 1.0, LoopMode::Once);
+        let mut r = rng();
+        m.step(1.0, &mut r);
+        m.set_speed(5.0);
+        assert_eq!(m.step(1.0, &mut r), Point::new(6.0, 0.0));
+    }
+
+    #[test]
+    fn reports_linear_pattern() {
+        let m = PathFollower::new(ell(), 1.0, LoopMode::Once);
+        assert_eq!(m.pattern(), MobilityPattern::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_speed_panics() {
+        let _ = PathFollower::new(ell(), -1.0, LoopMode::Once);
+    }
+}

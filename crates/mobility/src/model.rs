@@ -1,0 +1,65 @@
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::Point;
+
+use crate::MobilityPattern;
+
+/// A timestamped position, the unit of every trace and location update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionSample {
+    /// Simulation time in seconds.
+    pub time_s: f64,
+    /// Where the node was at that time.
+    pub position: Point,
+}
+
+impl PositionSample {
+    /// Creates a sample.
+    #[must_use]
+    pub const fn new(time_s: f64, position: Point) -> Self {
+        PositionSample { time_s, position }
+    }
+}
+
+/// A mobility generator: owns a node's kinematic state and advances it in
+/// discrete time steps.
+///
+/// Models take the RNG by `&mut dyn RngCore` so the trait stays
+/// object-safe — schedules hold heterogeneous boxed phases — while the caller
+/// keeps control of seeding (one deterministic stream per node).
+pub trait MobilityModel {
+    /// Advances the node by `dt` seconds and returns the new position.
+    ///
+    /// Implementations must treat `dt <= 0` as a no-op.
+    fn step(&mut self, dt: f64, rng: &mut dyn RngCore) -> Point;
+
+    /// The node's current position.
+    fn position(&self) -> Point;
+
+    /// The mobility pattern this model realises.
+    fn pattern(&self) -> MobilityPattern;
+
+    /// Whether the model has finished its motion (reached its destination).
+    /// Perpetual models (stopping, wandering, patrolling) never finish.
+    fn is_finished(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_round_trips_fields() {
+        let s = PositionSample::new(3.5, Point::new(1.0, 2.0));
+        assert_eq!(s.time_s, 3.5);
+        assert_eq!(s.position, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _assert(_: &dyn MobilityModel) {}
+    }
+}

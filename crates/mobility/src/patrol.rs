@@ -1,0 +1,176 @@
+use rand::{Rng, RngCore};
+
+use mobigrid_geo::{Point, Polyline};
+
+use crate::{LoopMode, MobilityModel, MobilityPattern, PathFollower};
+
+/// A road patroller: ping-pong travel along a road, resampling its speed
+/// from a range at every end-to-end traversal.
+///
+/// Table 1 specifies road nodes by a *velocity range* (humans 1–4 m/s,
+/// vehicles 4–10 m/s): a pedestrian sometimes strolls and sometimes jogs, a
+/// vehicle's pace varies with traffic. `RoadPatroller` realises that by
+/// holding speed constant within one traversal — so the motion still reads
+/// as Linear Movement to the classifier — and drawing a fresh speed from the
+/// range at each turnaround.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::{MobilityModel, RoadPatroller};
+/// use mobigrid_geo::{Point, Polyline};
+/// use rand::SeedableRng;
+///
+/// let road = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)]).unwrap();
+/// let mut p = RoadPatroller::new(road.clone(), (1.0, 4.0), 0.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// for _ in 0..200 {
+///     let pos = p.step(1.0, &mut rng);
+///     assert!(road.distance_to_point(pos) < 1e-6);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadPatroller {
+    follower: PathFollower,
+    speed_range: (f64, f64),
+    seen_traversals: u64,
+}
+
+impl RoadPatroller {
+    /// Creates a patroller on `road` with speeds drawn from `speed_range`
+    /// (m/s), starting `start_offset` metres along the road.
+    ///
+    /// The initial speed is the range midpoint; the first resample happens
+    /// at the first turnaround.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, negative or non-finite.
+    #[must_use]
+    pub fn new(road: Polyline, speed_range: (f64, f64), start_offset: f64) -> Self {
+        let (lo, hi) = speed_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo,
+            "speed range must be positive and ordered"
+        );
+        let mut follower = PathFollower::new(road, (lo + hi) / 2.0, LoopMode::PingPong);
+        if start_offset > 0.0 {
+            // Walk the follower to its starting offset without randomness.
+            let mut no_rng = rand::rngs::mock::StepRng::new(0, 0);
+            follower.step(start_offset / follower.speed(), &mut no_rng);
+        }
+        // Walking to the start offset may already have counted traversals
+        // (for offsets beyond one road length); they must not trigger an
+        // immediate resample.
+        let seen_traversals = follower.completed_traversals();
+        RoadPatroller {
+            follower,
+            speed_range,
+            seen_traversals,
+        }
+    }
+
+    /// The speed range the patroller samples from.
+    #[must_use]
+    pub fn speed_range(&self) -> (f64, f64) {
+        self.speed_range
+    }
+
+    /// The current traversal's speed in m/s.
+    #[must_use]
+    pub fn current_speed(&self) -> f64 {
+        self.follower.speed()
+    }
+}
+
+impl MobilityModel for RoadPatroller {
+    fn step(&mut self, dt: f64, rng: &mut dyn RngCore) -> Point {
+        let before = self.follower.completed_traversals();
+        let pos = self.follower.step(dt, rng);
+        let after = self.follower.completed_traversals();
+        if after > before && after > self.seen_traversals {
+            self.seen_traversals = after;
+            let (lo, hi) = self.speed_range;
+            self.follower.set_speed(rng.gen_range(lo..=hi));
+        }
+        pos
+    }
+
+    fn position(&self) -> Point {
+        self.follower.position()
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        MobilityPattern::Linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn road() -> Polyline {
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]).unwrap()
+    }
+
+    #[test]
+    fn starts_at_offset_with_midpoint_speed() {
+        let p = RoadPatroller::new(road(), (2.0, 6.0), 30.0);
+        assert_eq!(p.position(), Point::new(30.0, 0.0));
+        assert_eq!(p.current_speed(), 4.0);
+    }
+
+    #[test]
+    fn resamples_speed_at_turnarounds() {
+        let mut p = RoadPatroller::new(road(), (1.0, 4.0), 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let initial = p.current_speed();
+        let mut changed = false;
+        for _ in 0..200 {
+            p.step(1.0, &mut rng);
+            if (p.current_speed() - initial).abs() > 1e-9 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "speed never resampled across turnarounds");
+        let (lo, hi) = p.speed_range();
+        assert!(p.current_speed() >= lo && p.current_speed() <= hi);
+    }
+
+    #[test]
+    fn stays_on_the_road_forever() {
+        let r = road();
+        let mut p = RoadPatroller::new(r.clone(), (4.0, 10.0), 50.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let pos = p.step(1.0, &mut rng);
+            assert!(r.distance_to_point(pos) < 1e-6);
+        }
+        assert!(!p.is_finished());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = RoadPatroller::new(road(), (1.0, 4.0), 10.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| p.step(1.0, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and ordered")]
+    fn empty_range_panics() {
+        let _ = RoadPatroller::new(road(), (4.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn reports_linear_pattern() {
+        let p = RoadPatroller::new(road(), (1.0, 2.0), 0.0);
+        assert_eq!(p.pattern(), MobilityPattern::Linear);
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three mobility patterns (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityPattern {
+    /// Stop State (SS): no movement — studying in the library.
+    Stop,
+    /// Random Movement State (RMS): slow, direction-changing movement —
+    /// a coffee break, moving between lab benches.
+    Random,
+    /// Linear Movement State (LMS): purposeful movement toward a
+    /// destination — walking a road, driving, crossing a hallway.
+    Linear,
+}
+
+impl MobilityPattern {
+    /// The paper's abbreviation for the pattern.
+    #[must_use]
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            MobilityPattern::Stop => "SS",
+            MobilityPattern::Random => "RMS",
+            MobilityPattern::Linear => "LMS",
+        }
+    }
+}
+
+impl fmt::Display for MobilityPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+/// Whether a node is carried by a pedestrian or a vehicle — the distinction
+/// Table 1 uses to assign road nodes their velocity range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeType {
+    /// A walking or running person (1–4 m/s on roads).
+    Human,
+    /// A vehicle-mounted node (4–10 m/s on roads).
+    Vehicle,
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeType::Human => write!(f, "human"),
+            NodeType::Vehicle => write!(f, "vehicle"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(MobilityPattern::Stop.to_string(), "SS");
+        assert_eq!(MobilityPattern::Random.to_string(), "RMS");
+        assert_eq!(MobilityPattern::Linear.to_string(), "LMS");
+    }
+
+    #[test]
+    fn node_types_display() {
+        assert_eq!(NodeType::Human.to_string(), "human");
+        assert_eq!(NodeType::Vehicle.to_string(), "vehicle");
+    }
+}

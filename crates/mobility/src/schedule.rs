@@ -1,0 +1,299 @@
+use rand::RngCore;
+
+use mobigrid_geo::Point;
+
+use crate::{MobilityModel, MobilityPattern, StopModel};
+
+/// One leg of a [`Schedule`]: a mobility model plus an optional time limit.
+///
+/// A phase ends when its model reports
+/// [`is_finished`](MobilityModel::is_finished) (a travel leg arriving), or
+/// when its `duration` elapses (a timed stay), whichever comes first.
+pub struct Phase {
+    model: Box<dyn MobilityModel + Send>,
+    duration: Option<f64>,
+    label: String,
+}
+
+impl Phase {
+    /// A phase that runs until its model finishes (e.g. a
+    /// [`PathFollower`](crate::PathFollower) in `Once` mode reaching its
+    /// destination).
+    pub fn until_arrival(
+        label: impl Into<String>,
+        model: impl MobilityModel + Send + 'static,
+    ) -> Self {
+        Phase {
+            model: Box::new(model),
+            duration: None,
+            label: label.into(),
+        }
+    }
+
+    /// A phase that runs for a fixed `duration` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `duration` is not strictly positive.
+    pub fn timed(
+        label: impl Into<String>,
+        duration: f64,
+        model: impl MobilityModel + Send + 'static,
+    ) -> Self {
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "phase duration must be positive"
+        );
+        Phase {
+            model: Box::new(model),
+            duration: Some(duration),
+            label: label.into(),
+        }
+    }
+
+    /// The phase's human-readable label (e.g. `"study in library"`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase")
+            .field("label", &self.label)
+            .field("duration", &self.duration)
+            .field("pattern", &self.model.pattern())
+            .finish()
+    }
+}
+
+/// A day in the life of a mobile node: an ordered sequence of [`Phase`]s.
+///
+/// This composes the primitive models into the paper's §3.1 scenario —
+/// "walk to the library, study for an hour, walk to class, …". When the last
+/// phase completes the node parks at its final position.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::{LoopMode, MobilityModel, PathFollower, Phase, Schedule, StopModel};
+/// use mobigrid_geo::{Point, Polyline};
+/// use rand::SeedableRng;
+///
+/// let walk = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(6.0, 0.0)]).unwrap();
+/// let mut day = Schedule::new(vec![
+///     Phase::until_arrival("walk to desk", PathFollower::new(walk, 2.0, LoopMode::Once)),
+///     Phase::timed("study", 10.0, StopModel::new(Point::new(6.0, 0.0))),
+/// ]);
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// for _ in 0..3 {
+///     day.step(1.0, &mut rng); // arrives after 3 s
+/// }
+/// assert_eq!(day.current_phase_index(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Schedule {
+    phases: Vec<Phase>,
+    current: usize,
+    elapsed_in_phase: f64,
+    /// Park-at-the-end model once every phase completes.
+    parked: Option<StopModel>,
+}
+
+impl Schedule {
+    /// Creates a schedule from its phases, starting in the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty phase list.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        Schedule {
+            phases,
+            current: 0,
+            elapsed_in_phase: 0.0,
+            parked: None,
+        }
+    }
+
+    /// Index of the phase currently executing (or the last phase once the
+    /// schedule has completed).
+    #[must_use]
+    pub fn current_phase_index(&self) -> usize {
+        self.current.min(self.phases.len() - 1)
+    }
+
+    /// Label of the phase currently executing.
+    #[must_use]
+    pub fn current_phase_label(&self) -> &str {
+        self.phases[self.current_phase_index()].label()
+    }
+
+    /// Total number of phases.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    fn phase_done(&self) -> bool {
+        let phase = &self.phases[self.current];
+        if phase.model.is_finished() {
+            return true;
+        }
+        match phase.duration {
+            Some(d) => self.elapsed_in_phase >= d,
+            None => false,
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        let pos = self.phases[self.current].model.position();
+        if self.current + 1 < self.phases.len() {
+            self.current += 1;
+            self.elapsed_in_phase = 0.0;
+        } else {
+            self.parked = Some(StopModel::new(pos));
+        }
+    }
+}
+
+impl MobilityModel for Schedule {
+    fn step(&mut self, dt: f64, rng: &mut dyn RngCore) -> Point {
+        if dt <= 0.0 {
+            return self.position();
+        }
+        if let Some(parked) = &mut self.parked {
+            return parked.step(dt, rng);
+        }
+        // A single step may span a phase boundary; hand the full dt to the
+        // active phase (phase granularity is 1 tick, like the paper's 1 s
+        // sampling), then roll over if it completed.
+        let pos = self.phases[self.current].model.step(dt, rng);
+        self.elapsed_in_phase += dt;
+        if self.phase_done() {
+            self.advance_phase();
+        }
+        pos
+    }
+
+    fn position(&self) -> Point {
+        if let Some(parked) = &self.parked {
+            return parked.position();
+        }
+        self.phases[self.current].model.position()
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        if self.parked.is_some() {
+            return MobilityPattern::Stop;
+        }
+        self.phases[self.current].model.pattern()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.parked.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopMode, PathFollower, RandomWalk};
+    use mobigrid_geo::{Polyline, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn walk_to(x: f64, speed: f64) -> PathFollower {
+        let p = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(x, 0.0)]).unwrap();
+        PathFollower::new(p, speed, LoopMode::Once)
+    }
+
+    #[test]
+    fn runs_phases_in_order() {
+        let mut s = Schedule::new(vec![
+            Phase::until_arrival("walk", walk_to(4.0, 2.0)),
+            Phase::timed("rest", 3.0, StopModel::new(Point::new(4.0, 0.0))),
+        ]);
+        let mut r = rng();
+        assert_eq!(s.current_phase_label(), "walk");
+        s.step(1.0, &mut r);
+        assert_eq!(s.current_phase_index(), 0);
+        s.step(1.0, &mut r); // arrives at 4.0
+        assert_eq!(s.current_phase_index(), 1);
+        assert_eq!(s.current_phase_label(), "rest");
+        assert_eq!(s.pattern(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    fn completes_and_parks() {
+        let mut s = Schedule::new(vec![Phase::timed(
+            "brief stop",
+            2.0,
+            StopModel::new(Point::new(1.0, 1.0)),
+        )]);
+        let mut r = rng();
+        s.step(1.0, &mut r);
+        assert!(!s.is_finished());
+        s.step(1.0, &mut r);
+        assert!(s.is_finished());
+        // Parked forever at the final position.
+        for _ in 0..5 {
+            assert_eq!(s.step(1.0, &mut r), Point::new(1.0, 1.0));
+        }
+        assert_eq!(s.pattern(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    fn timed_random_phase_then_walk() {
+        let lab = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let mut s = Schedule::new(vec![
+            Phase::timed(
+                "coffee",
+                5.0,
+                RandomWalk::new(lab, Point::new(5.0, 5.0), 1.0),
+            ),
+            Phase::until_arrival("leave", walk_to(8.0, 4.0)),
+        ]);
+        let mut r = rng();
+        for _ in 0..5 {
+            assert_eq!(s.pattern(), MobilityPattern::Random);
+            s.step(1.0, &mut r);
+        }
+        assert_eq!(s.pattern(), MobilityPattern::Linear);
+    }
+
+    #[test]
+    fn pattern_reflects_current_phase() {
+        let mut s = Schedule::new(vec![
+            Phase::until_arrival("walk", walk_to(2.0, 2.0)),
+            Phase::timed("sit", 1.0, StopModel::new(Point::new(2.0, 0.0))),
+        ]);
+        assert_eq!(s.pattern(), MobilityPattern::Linear);
+        let mut r = rng();
+        s.step(1.0, &mut r);
+        assert_eq!(s.pattern(), MobilityPattern::Stop);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        let _ = Schedule::new(vec![]);
+    }
+
+    #[test]
+    fn phase_count_and_labels() {
+        let s = Schedule::new(vec![
+            Phase::until_arrival("a", walk_to(1.0, 1.0)),
+            Phase::until_arrival("b", walk_to(2.0, 1.0)),
+        ]);
+        assert_eq!(s.phase_count(), 2);
+        assert_eq!(s.current_phase_label(), "a");
+    }
+}

@@ -1,0 +1,75 @@
+use rand::RngCore;
+
+use mobigrid_geo::Point;
+
+use crate::{MobilityModel, MobilityPattern};
+
+/// Stop State (SS): the node never moves.
+///
+/// Thirty of the paper's 140 nodes are in this state (five per building) —
+/// students parked in the library for hours. Under an ideal update policy
+/// even these nodes report every second; the distance filter removes
+/// essentially all of that traffic.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::{MobilityModel, StopModel};
+/// use mobigrid_geo::Point;
+/// use rand::SeedableRng;
+///
+/// let mut m = StopModel::new(Point::new(3.0, 4.0));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(m.step(1.0, &mut rng), Point::new(3.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopModel {
+    position: Point,
+}
+
+impl StopModel {
+    /// Creates a stationary node at `position`.
+    #[must_use]
+    pub const fn new(position: Point) -> Self {
+        StopModel { position }
+    }
+}
+
+impl MobilityModel for StopModel {
+    fn step(&mut self, _dt: f64, _rng: &mut dyn RngCore) -> Point {
+        self.position
+    }
+
+    fn position(&self) -> Point {
+        self.position
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        MobilityPattern::Stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_moves() {
+        let start = Point::new(-2.0, 9.0);
+        let mut m = StopModel::new(start);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(m.step(1.0, &mut rng), start);
+        }
+        assert_eq!(m.position(), start);
+    }
+
+    #[test]
+    fn reports_stop_pattern_and_never_finishes() {
+        let m = StopModel::new(Point::ORIGIN);
+        assert_eq!(m.pattern(), MobilityPattern::Stop);
+        assert!(!m.is_finished());
+    }
+}

@@ -1,0 +1,300 @@
+use std::fmt::Write as _;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::Point;
+
+use crate::{MobilityModel, MobilityPattern, PositionSample};
+
+/// A recorded movement history: timestamped positions in time order.
+///
+/// Traces serve three purposes in the workspace: ground truth for location-
+/// error measurement (the broker's estimate is compared against the trace),
+/// deterministic replay via [`TraceReplay`], and workload export as CSV for
+/// external plotting.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::Trace;
+/// use mobigrid_geo::Point;
+///
+/// let mut t = Trace::new();
+/// t.record(0.0, Point::new(0.0, 0.0));
+/// t.record(1.0, Point::new(3.0, 4.0));
+/// assert_eq!(t.total_distance(), 5.0);
+/// assert_eq!(t.average_speed(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<PositionSample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `time_s` precedes the previous sample's time.
+    pub fn record(&mut self, time_s: f64, position: Point) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                time_s >= last.time_s,
+                "trace samples must be recorded in time order"
+            );
+        }
+        self.samples.push(PositionSample::new(time_s, position));
+    }
+
+    /// The recorded samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[PositionSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time span covered, in seconds (zero for fewer than two samples).
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.time_s - a.time_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Total path length walked, in metres.
+    #[must_use]
+    pub fn total_distance(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| w[0].position.distance_to(w[1].position))
+            .sum()
+    }
+
+    /// Mean speed over the trace in m/s (zero when duration is zero).
+    #[must_use]
+    pub fn average_speed(&self) -> f64 {
+        let d = self.duration();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.total_distance() / d
+        }
+    }
+
+    /// The position at `time_s`, linearly interpolated between samples and
+    /// clamped to the endpoints; `None` for an empty trace.
+    #[must_use]
+    pub fn position_at(&self, time_s: f64) -> Option<Point> {
+        let first = self.samples.first()?;
+        if time_s <= first.time_s {
+            return Some(first.position);
+        }
+        let last = self.samples.last()?;
+        if time_s >= last.time_s {
+            return Some(last.position);
+        }
+        // Binary search the bracketing pair.
+        let idx = self.samples.partition_point(|s| s.time_s <= time_s);
+        let a = &self.samples[idx - 1];
+        let b = &self.samples[idx];
+        let span = b.time_s - a.time_s;
+        if span == 0.0 {
+            return Some(b.position);
+        }
+        let t = (time_s - a.time_s) / span;
+        Some(a.position.lerp(b.position, t))
+    }
+
+    /// Serialises the trace as `time,x,y` CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,x,y\n");
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{:.3},{:.3},{:.3}",
+                s.time_s, s.position.x, s.position.y
+            );
+        }
+        out
+    }
+}
+
+impl Extend<PositionSample> for Trace {
+    fn extend<T: IntoIterator<Item = PositionSample>>(&mut self, iter: T) {
+        for s in iter {
+            self.record(s.time_s, s.position);
+        }
+    }
+}
+
+impl FromIterator<PositionSample> for Trace {
+    fn from_iter<T: IntoIterator<Item = PositionSample>>(iter: T) -> Self {
+        let mut t = Trace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+/// Replays a recorded [`Trace`] as a mobility model.
+///
+/// Useful for ablations that must hold the workload fixed while varying the
+/// filter: record one population run, then replay it bit-identically under
+/// every configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReplay {
+    trace: Trace,
+    clock_s: f64,
+    pattern: MobilityPattern,
+}
+
+impl TraceReplay {
+    /// Creates a replay of `trace`, reporting `pattern` as its mobility
+    /// pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    #[must_use]
+    pub fn new(trace: Trace, pattern: MobilityPattern) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TraceReplay {
+            trace,
+            clock_s: 0.0,
+            pattern,
+        }
+    }
+
+    /// Elapsed replay time in seconds.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock_s
+    }
+}
+
+impl MobilityModel for TraceReplay {
+    fn step(&mut self, dt: f64, _rng: &mut dyn RngCore) -> Point {
+        if dt > 0.0 {
+            self.clock_s += dt;
+        }
+        self.position()
+    }
+
+    fn position(&self) -> Point {
+        self.trace
+            .position_at(self.clock_s)
+            .expect("replay trace is non-empty")
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        self.pattern
+    }
+
+    fn is_finished(&self) -> bool {
+        self.clock_s >= self.trace.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.record(0.0, Point::new(0.0, 0.0));
+        t.record(1.0, Point::new(2.0, 0.0));
+        t.record(3.0, Point::new(2.0, 4.0));
+        t
+    }
+
+    #[test]
+    fn distance_duration_speed() {
+        let t = sample_trace();
+        assert_eq!(t.total_distance(), 6.0);
+        assert_eq!(t.duration(), 3.0);
+        assert_eq!(t.average_speed(), 2.0);
+    }
+
+    #[test]
+    fn position_at_interpolates() {
+        let t = sample_trace();
+        assert_eq!(t.position_at(0.5), Some(Point::new(1.0, 0.0)));
+        assert_eq!(t.position_at(2.0), Some(Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn position_at_clamps_to_ends() {
+        let t = sample_trace();
+        assert_eq!(t.position_at(-5.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.position_at(99.0), Some(Point::new(2.0, 4.0)));
+    }
+
+    #[test]
+    fn empty_trace_has_no_position() {
+        assert_eq!(Trace::new().position_at(0.0), None);
+        assert_eq!(Trace::new().average_speed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_recording_panics() {
+        let mut t = Trace::new();
+        t.record(2.0, Point::ORIGIN);
+        t.record(1.0, Point::ORIGIN);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "time_s,x,y");
+        assert_eq!(lines[1], "0.000,0.000,0.000");
+    }
+
+    #[test]
+    fn replay_follows_the_trace() {
+        let mut r = TraceReplay::new(sample_trace(), MobilityPattern::Linear);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(r.position(), Point::new(0.0, 0.0));
+        r.step(1.0, &mut rng);
+        assert_eq!(r.position(), Point::new(2.0, 0.0));
+        r.step(1.0, &mut rng);
+        assert_eq!(r.position(), Point::new(2.0, 2.0));
+        assert!(!r.is_finished());
+        r.step(1.0, &mut rng);
+        assert!(r.is_finished());
+    }
+
+    #[test]
+    fn trace_collects_from_iterator() {
+        let t: Trace = vec![
+            PositionSample::new(0.0, Point::new(0.0, 0.0)),
+            PositionSample::new(1.0, Point::new(1.0, 0.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 2);
+    }
+}

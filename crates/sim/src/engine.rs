@@ -1,0 +1,284 @@
+use crate::{EventQueue, SimTime};
+
+/// A simulation model: owns the world state and reacts to events.
+///
+/// The engine pops events in deterministic time order and hands each one to
+/// [`Model::handle`] together with a [`Context`] through which the model can
+/// schedule follow-up events.
+pub trait Model {
+    /// The event payload type dispatched through the queue.
+    type Event;
+
+    /// Reacts to one event. `ctx.now()` is the event's activation time.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// Scheduling handle passed to [`Model::handle`].
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<E> Context<'_, E> {
+    /// The current simulation time (the activation time of the event being
+    /// handled).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — scheduling into the
+    /// past would violate causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after a relative `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Requests that the engine stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The event-dispatch loop: pops events in deterministic order and feeds them
+/// to the model until the queue drains, a time bound is reached, or the model
+/// requests a stop.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_sim::{Context, Engine, Model, SimTime};
+///
+/// struct Ping(Vec<u64>);
+///
+/// impl Model for Ping {
+///     type Event = ();
+///     fn handle(&mut self, ctx: &mut Context<'_, ()>, _event: ()) {
+///         self.0.push(ctx.now().as_secs());
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Ping(Vec::new()));
+/// for s in [5, 1, 3] {
+///     engine.schedule(SimTime::from_secs(s), ());
+/// }
+/// engine.run();
+/// assert_eq!(engine.model().0, vec![1, 3, 5]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around `model` with an empty event queue at time
+    /// zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event from outside the model.
+    pub fn schedule(&mut self, at: SimTime, event: M::Event) {
+        self.queue.push(at, event);
+    }
+
+    /// Current simulation time: the activation time of the most recently
+    /// processed event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to the model.
+    #[must_use]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine and returns the model.
+    #[must_use]
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.time >= self.now, "event queue went backwards");
+        self.now = scheduled.time;
+        self.processed += 1;
+        let mut stop = false;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop: &mut stop,
+        };
+        self.model.handle(&mut ctx, scheduled.event);
+        !stop
+    }
+
+    /// Runs until the queue drains or the model calls [`Context::stop`].
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until simulation time would exceed `until` (events at exactly
+    /// `until` are processed), the queue drains, or the model stops.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, &'static str)>,
+        stop_at: Option<&'static str>,
+    }
+
+    impl Model for Recorder {
+        type Event = &'static str;
+
+        fn handle(&mut self, ctx: &mut Context<'_, &'static str>, event: &'static str) {
+            self.seen.push((ctx.now().as_secs(), event));
+            if event == "spawn" {
+                ctx.schedule_in(SimTime::from_secs(2), "child");
+            }
+            if Some(event) == self.stop_at {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            stop_at: None,
+        }
+    }
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(3), "c");
+        e.schedule(SimTime::from_secs(1), "a");
+        e.schedule(SimTime::from_secs(2), "b");
+        e.run();
+        let names: Vec<_> = e.model().seen.iter().map(|s| s.1).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(1), "spawn");
+        e.run();
+        assert_eq!(e.model().seen, vec![(1, "spawn"), (3, "child")]);
+    }
+
+    #[test]
+    fn stop_halts_processing() {
+        let mut e = Engine::new(Recorder {
+            seen: Vec::new(),
+            stop_at: Some("halt"),
+        });
+        e.schedule(SimTime::from_secs(1), "halt");
+        e.schedule(SimTime::from_secs(2), "never");
+        e.run();
+        assert_eq!(e.model().seen.len(), 1);
+    }
+
+    #[test]
+    fn run_until_is_inclusive() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::from_secs(1), "in");
+        e.schedule(SimTime::from_secs(5), "at");
+        e.schedule(SimTime::from_secs(6), "out");
+        e.run_until(SimTime::from_secs(5));
+        let names: Vec<_> = e.model().seen.iter().map(|s| s.1).collect();
+        assert_eq!(names, vec!["in", "at"]);
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn now_tracks_last_event_time() {
+        let mut e = Engine::new(recorder());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.schedule(SimTime::from_secs(9), "x");
+        e.run();
+        assert_eq!(e.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _ev: ()) {
+                ctx.schedule(SimTime::ZERO, ());
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.schedule(SimTime::from_secs(1), ());
+        e.run();
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut e = Engine::new(recorder());
+        e.schedule(SimTime::ZERO, "only");
+        e.run();
+        let m = e.into_model();
+        assert_eq!(m.seen.len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pending event with its activation time and a tie-breaking sequence
+/// number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number; earlier-scheduled events fire first among
+    /// equal times, making execution order fully deterministic.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+/// Internal heap entry ordered so that the `BinaryHeap` (a max-heap) pops the
+/// earliest `(time, seq)` first.
+#[derive(Debug)]
+struct HeapEntry<E>(ScheduledEvent<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time (then lowest seq) is the "greatest" entry.
+        (other.0.time, other.0.seq).cmp(&(self.0.time, self.0.seq))
+    }
+}
+
+/// A deterministic pending-event set.
+///
+/// Events pop in non-decreasing time order; events scheduled for the same
+/// instant pop in the order they were scheduled (FIFO). This determinism is
+/// what makes whole-experiment runs exactly reproducible from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`; returns its sequence number.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap
+            .push(HeapEntry(ScheduledEvent { time, seq, event }));
+        seq
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|h| h.0)
+    }
+
+    /// The activation time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|h| h.0.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7), "a");
+        q.push(SimTime::from_secs(4), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let s1 = q.push(SimTime::ZERO, ());
+        let s2 = q.push(SimTime::ZERO, ());
+        assert!(s2 > s1);
+    }
+}

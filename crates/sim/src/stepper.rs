@@ -1,0 +1,142 @@
+use crate::SimTime;
+
+/// One step of a fixed-interval simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick {
+    /// Zero-based tick index.
+    pub index: u64,
+    /// Simulation time at the *end* of this tick (the first tick ends at one
+    /// interval).
+    pub time: SimTime,
+    /// Length of the tick.
+    pub dt: SimTime,
+}
+
+impl Tick {
+    /// The tick length in fractional seconds — the `dt` used by mobility
+    /// integrators.
+    #[must_use]
+    pub fn dt_secs(&self) -> f64 {
+        self.dt.as_secs_f64()
+    }
+}
+
+/// Iterator over the fixed ticks of a time-stepped experiment.
+///
+/// The paper's evaluation advances the world once per second for 1800
+/// seconds; `TickDriver::new(SimTime::from_secs(1), 1800)` reproduces exactly
+/// that schedule.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_sim::{SimTime, TickDriver};
+///
+/// let ticks: Vec<_> = TickDriver::new(SimTime::from_secs(1), 3).collect();
+/// assert_eq!(ticks.len(), 3);
+/// assert_eq!(ticks[0].time, SimTime::from_secs(1));
+/// assert_eq!(ticks[2].time, SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TickDriver {
+    dt: SimTime,
+    total: u64,
+    next: u64,
+}
+
+impl TickDriver {
+    /// Creates a driver producing `total` ticks of length `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is zero — a zero-length tick would never advance
+    /// time.
+    #[must_use]
+    pub fn new(dt: SimTime, total: u64) -> Self {
+        assert!(dt > SimTime::ZERO, "tick length must be positive");
+        TickDriver { dt, total, next: 0 }
+    }
+
+    /// Total number of ticks this driver produces.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The simulation time at which the final tick ends.
+    #[must_use]
+    pub fn end_time(&self) -> SimTime {
+        SimTime::from_micros(self.dt.as_micros() * self.total)
+    }
+}
+
+impl Iterator for TickDriver {
+    type Item = Tick;
+
+    fn next(&mut self) -> Option<Tick> {
+        if self.next >= self.total {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        Some(Tick {
+            index,
+            time: SimTime::from_micros(self.dt.as_micros() * (index + 1)),
+            dt: self.dt,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TickDriver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_exact_count() {
+        assert_eq!(TickDriver::new(SimTime::from_secs(1), 1800).count(), 1800);
+    }
+
+    #[test]
+    fn tick_times_are_multiples_of_dt() {
+        let ticks: Vec<_> = TickDriver::new(SimTime::from_millis(500), 4).collect();
+        assert_eq!(ticks[0].time, SimTime::from_millis(500));
+        assert_eq!(ticks[3].time, SimTime::from_secs(2));
+        assert!(ticks.iter().all(|t| (t.dt_secs() - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let idx: Vec<u64> = TickDriver::new(SimTime::from_secs(1), 5)
+            .map(|t| t.index)
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn end_time_matches_last_tick() {
+        let d = TickDriver::new(SimTime::from_secs(2), 10);
+        let end = d.end_time();
+        assert_eq!(d.last().unwrap().time, end);
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let mut d = TickDriver::new(SimTime::from_secs(1), 3);
+        assert_eq!(d.len(), 3);
+        d.next();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick length must be positive")]
+    fn zero_dt_panics() {
+        let _ = TickDriver::new(SimTime::ZERO, 1);
+    }
+}

@@ -1,0 +1,214 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant on the simulation clock.
+///
+/// Time is stored as an integer number of **microseconds** so that events
+/// scheduled at "the same second" compare exactly equal — floating-point
+/// clocks make event ordering platform-dependent, which would break the
+/// reproducibility guarantees the experiment harness relies on.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_sim::SimTime;
+///
+/// let t = SimTime::from_secs(3) + SimTime::from_millis(500);
+/// assert_eq!(t.as_secs_f64(), 3.5);
+/// assert!(t > SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    micros: u64,
+}
+
+impl SimTime {
+    /// The start of simulation time.
+    pub const ZERO: SimTime = SimTime { micros: 0 };
+
+    /// The largest representable instant; useful as an "until forever" bound.
+    pub const MAX: SimTime = SimTime { micros: u64::MAX };
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime {
+            micros: millis * 1_000,
+        }
+    }
+
+    /// Creates a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime { micros }
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite values clamp to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime {
+            micros: (secs * 1e6).round() as u64,
+        }
+    }
+
+    /// This instant expressed in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// This instant expressed in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// Whole seconds (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.micros / 1_000_000
+    }
+
+    /// Saturating subtraction: never panics, floors at [`SimTime::ZERO`].
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        match self.micros.checked_add(rhs.micros) {
+            Some(m) => Some(SimTime { micros: m }),
+            None => None,
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            micros: self
+                .micros
+                .checked_add(rhs.micros)
+                .expect("simulation time overflow"),
+        }
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics when `rhs` is later than `self`; use
+    /// [`SimTime::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("simulation time underflow"),
+        }
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs_f64(12.345678);
+        assert_eq!(t.as_micros(), 12_345_678);
+        assert!((t.as_secs_f64() - 12.345678).abs() < 1e-9);
+        assert_eq!(t.as_secs(), 12);
+    }
+
+    #[test]
+    fn equal_seconds_compare_equal() {
+        assert_eq!(SimTime::from_secs(5), SimTime::from_secs_f64(5.0));
+        assert_eq!(SimTime::from_millis(1500), SimTime::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = [
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            SimTime::from_secs(1),
+        ];
+        times.sort();
+        assert_eq!(times[0], SimTime::ZERO);
+        assert_eq!(times[3], SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-4.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = SimTime::ZERO - SimTime::from_secs(1);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimTime::from_micros(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimTime::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn display_shows_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the simulation kernel.
+
+use mobigrid_sim::stats::{Rmse, Welford};
+use mobigrid_sim::{EventQueue, SeedStream, SimTime, TickDriver};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn queue_pops_sorted_by_time_then_fifo(times in prop::collection::vec(0u64..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(*t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.event));
+        }
+        // Times are non-decreasing.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            // Among equal times, insertion order is preserved.
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+        prop_assert_eq!(popped.len(), times.len());
+    }
+
+    #[test]
+    fn simtime_roundtrip_is_lossless_to_microseconds(micros in 0u64..10_000_000_000) {
+        let t = SimTime::from_micros(micros);
+        let back = SimTime::from_secs_f64(t.as_secs_f64());
+        // f64 has 53 bits of mantissa; within this range the round trip is exact.
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn seed_stream_is_deterministic_and_spread(master in any::<u64>(), idx in 0u64..10_000) {
+        let s = SeedStream::new(master);
+        prop_assert_eq!(s.seed_for(idx), SeedStream::new(master).seed_for(idx));
+        prop_assert_ne!(s.seed_for(idx), s.seed_for(idx + 1));
+    }
+
+    #[test]
+    fn tick_driver_covers_time_exactly(dt_ms in 1u64..5000, total in 0u64..500) {
+        let driver = TickDriver::new(SimTime::from_millis(dt_ms), total);
+        let ticks: Vec<_> = driver.clone().collect();
+        prop_assert_eq!(ticks.len() as u64, total);
+        if let Some(last) = ticks.last() {
+            prop_assert_eq!(last.time, driver.end_time());
+        }
+        // Ticks are contiguous: each ends dt after the previous.
+        for w in ticks.windows(2) {
+            prop_assert_eq!(w[1].time - w[0].time, SimTime::from_millis(dt_ms));
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive_computation(xs in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+        let w: Welford = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6);
+        prop_assert!((w.population_variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..50),
+        ys in prop::collection::vec(-1e3..1e3f64, 1..50),
+    ) {
+        let a: Welford = xs.iter().copied().collect();
+        let b: Welford = ys.iter().copied().collect();
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.population_variance() - ba.population_variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmse_is_scale_equivariant(xs in prop::collection::vec(0.0..100.0f64, 1..50), k in 0.1..10.0f64) {
+        let mut base = Rmse::new();
+        let mut scaled = Rmse::new();
+        for x in &xs {
+            base.push(*x);
+            scaled.push(*x * k);
+        }
+        prop_assert!((scaled.value() - base.value() * k).abs() < 1e-6 * scaled.value().max(1.0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Transmission energy accounting.
+//!
+//! The paper motivates traffic reduction with the mobile node's "low battery
+//! capacity" but never quantifies the saving; this module closes that loop.
+//! A simple linear radio model — a fixed per-frame cost plus a per-byte
+//! cost — is accurate enough to rank policies, which is all the energy
+//! experiment needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear transmission-energy model: `energy(frame) = base + per_byte × n`.
+///
+/// Defaults approximate an 802.11b-era handheld radio (the paper's PDAs and
+/// laptops): ~2 mJ fixed cost per frame and ~2 µJ per byte. Absolute values
+/// only scale the results; the policy *ranking* is model-independent.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::EnergyModel;
+///
+/// let model = EnergyModel::default();
+/// let cost = model.frame_cost_j(32);
+/// assert!(cost > 0.0);
+/// assert!(model.frame_cost_j(64) > cost);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Fixed cost per transmitted frame, in joules.
+    pub base_j: f64,
+    /// Marginal cost per transmitted byte, in joules.
+    pub per_byte_j: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            base_j: 2.0e-3,
+            per_byte_j: 2.0e-6,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Creates a model with explicit costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either cost is negative or non-finite.
+    #[must_use]
+    pub fn new(base_j: f64, per_byte_j: f64) -> Self {
+        assert!(
+            base_j.is_finite() && base_j >= 0.0 && per_byte_j.is_finite() && per_byte_j >= 0.0,
+            "energy costs must be non-negative"
+        );
+        EnergyModel { base_j, per_byte_j }
+    }
+
+    /// Energy to transmit one frame of `bytes` length, in joules.
+    #[must_use]
+    pub fn frame_cost_j(&self, bytes: usize) -> f64 {
+        self.base_j + self.per_byte_j * bytes as f64
+    }
+}
+
+/// A node's transmission battery: a joule budget drained per frame.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::{Battery, EnergyModel};
+///
+/// let mut b = Battery::new(1.0, EnergyModel::default()); // 1 J for radio TX
+/// let frames_possible = b.remaining_frames(32);
+/// b.transmit(32);
+/// assert_eq!(b.remaining_frames(32), frames_possible - 1);
+/// assert!(b.remaining_j() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    remaining_j: f64,
+    model: EnergyModel,
+    frames_sent: u64,
+}
+
+impl Battery {
+    /// Creates a full battery with `capacity_j` joules reserved for radio
+    /// transmission, drained per `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity_j` is negative or non-finite.
+    #[must_use]
+    pub fn new(capacity_j: f64, model: EnergyModel) -> Self {
+        assert!(
+            capacity_j.is_finite() && capacity_j >= 0.0,
+            "capacity must be non-negative"
+        );
+        Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+            model,
+            frames_sent: 0,
+        }
+    }
+
+    /// The configured capacity in joules.
+    #[must_use]
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining energy in joules (floored at zero).
+    #[must_use]
+    pub fn remaining_j(&self) -> f64 {
+        self.remaining_j
+    }
+
+    /// Remaining charge as a fraction of capacity in `[0, 1]`.
+    #[must_use]
+    pub fn remaining_fraction(&self) -> f64 {
+        if self.capacity_j == 0.0 {
+            0.0
+        } else {
+            self.remaining_j / self.capacity_j
+        }
+    }
+
+    /// Whether the battery can still transmit a frame of `bytes` length.
+    #[must_use]
+    pub fn can_transmit(&self, bytes: usize) -> bool {
+        self.remaining_j >= self.model.frame_cost_j(bytes)
+    }
+
+    /// How many more frames of `bytes` length the battery can carry.
+    #[must_use]
+    pub fn remaining_frames(&self, bytes: usize) -> u64 {
+        let cost = self.model.frame_cost_j(bytes);
+        if cost == 0.0 {
+            u64::MAX
+        } else {
+            (self.remaining_j / cost).floor() as u64
+        }
+    }
+
+    /// Drains the battery for one frame of `bytes` length; returns `false`
+    /// (and drains nothing) when the charge is insufficient.
+    pub fn transmit(&mut self, bytes: usize) -> bool {
+        let cost = self.model.frame_cost_j(bytes);
+        if self.remaining_j < cost {
+            return false;
+        }
+        self.remaining_j -= cost;
+        self.frames_sent += 1;
+        true
+    }
+
+    /// Frames transmitted so far.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Total energy consumed so far, in joules.
+    #[must_use]
+    pub fn consumed_j(&self) -> f64 {
+        self.capacity_j - self.remaining_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_cost_is_linear_in_bytes() {
+        let m = EnergyModel::new(1.0, 0.5);
+        assert_eq!(m.frame_cost_j(0), 1.0);
+        assert_eq!(m.frame_cost_j(4), 3.0);
+    }
+
+    #[test]
+    fn battery_drains_and_stops() {
+        let m = EnergyModel::new(1.0, 0.0);
+        let mut b = Battery::new(2.5, m);
+        assert!(b.transmit(32));
+        assert!(b.transmit(32));
+        assert!(!b.transmit(32), "0.5 J is not enough for a 1 J frame");
+        assert_eq!(b.frames_sent(), 2);
+        assert!((b.remaining_j() - 0.5).abs() < 1e-12);
+        assert!((b.consumed_j() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_frames_counts_whole_frames() {
+        let m = EnergyModel::new(1.0, 0.0);
+        let b = Battery::new(3.7, m);
+        assert_eq!(b.remaining_frames(32), 3);
+        assert!(b.can_transmit(32));
+    }
+
+    #[test]
+    fn remaining_fraction_tracks_charge() {
+        let m = EnergyModel::new(1.0, 0.0);
+        let mut b = Battery::new(4.0, m);
+        b.transmit(0);
+        assert!((b.remaining_fraction() - 0.75).abs() < 1e-12);
+        let empty = Battery::new(0.0, m);
+        assert_eq!(empty.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_cost_model_never_depletes() {
+        let m = EnergyModel::new(0.0, 0.0);
+        let mut b = Battery::new(1.0, m);
+        for _ in 0..100 {
+            assert!(b.transmit(1000));
+        }
+        assert_eq!(b.remaining_frames(1), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_panic() {
+        let _ = EnergyModel::new(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+use mobigrid_geo::Point;
+
+/// Errors from the wireless access layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WirelessError {
+    /// No gateway covers the transmitting node's position.
+    NoCoverage {
+        /// Where the node attempted to transmit from.
+        position: Point,
+    },
+    /// A received frame was too short or malformed.
+    MalformedFrame {
+        /// Bytes received.
+        got: usize,
+        /// Bytes required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessError::NoCoverage { position } => {
+                write!(f, "no gateway coverage at {position}")
+            }
+            WirelessError::MalformedFrame { got, needed } => {
+                write!(f, "malformed frame: got {got} bytes, needed {needed}")
+            }
+        }
+    }
+}
+
+impl Error for WirelessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = WirelessError::MalformedFrame { got: 3, needed: 32 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("32"));
+    }
+}

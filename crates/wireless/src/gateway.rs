@@ -1,0 +1,160 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::Point;
+
+/// Identity of a wireless gateway within its [`AccessNetwork`](crate::AccessNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GatewayId(u32);
+
+impl GatewayId {
+    /// Creates an id from a raw dense index.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        GatewayId(raw)
+    }
+
+    /// The id as a dense array index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GatewayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gw#{}", self.0)
+    }
+}
+
+/// The two gateway technologies the paper's campus provides: cellular
+/// service on roads and buildings, wireless Internet (802.11) inside the six
+/// buildings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GatewayKind {
+    /// A cellular base station: wide coverage, outdoor.
+    BaseStation,
+    /// An 802.11 access point: short range, indoor.
+    AccessPoint,
+}
+
+impl fmt::Display for GatewayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayKind::BaseStation => write!(f, "base station"),
+            GatewayKind::AccessPoint => write!(f, "access point"),
+        }
+    }
+}
+
+/// A wireless gateway: a coverage disc centred on its site.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::{Gateway, GatewayKind};
+/// use mobigrid_geo::Point;
+///
+/// let ap = Gateway::new(0, GatewayKind::AccessPoint, Point::new(10.0, 10.0), 50.0);
+/// assert!(ap.covers(Point::new(40.0, 10.0)));
+/// assert!(!ap.covers(Point::new(100.0, 10.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gateway {
+    id: GatewayId,
+    kind: GatewayKind,
+    site: Point,
+    range_m: f64,
+}
+
+impl Gateway {
+    /// Creates a gateway with the given dense `id`, technology, `site` and
+    /// coverage radius in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range_m` is not strictly positive.
+    #[must_use]
+    pub fn new(id: u32, kind: GatewayKind, site: Point, range_m: f64) -> Self {
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "coverage radius must be positive"
+        );
+        Gateway {
+            id: GatewayId::new(id),
+            kind,
+            site,
+            range_m,
+        }
+    }
+
+    /// The gateway's id.
+    #[must_use]
+    pub fn id(&self) -> GatewayId {
+        self.id
+    }
+
+    /// Base station or access point.
+    #[must_use]
+    pub fn kind(&self) -> GatewayKind {
+        self.kind
+    }
+
+    /// Where the gateway is installed.
+    #[must_use]
+    pub fn site(&self) -> Point {
+        self.site
+    }
+
+    /// Coverage radius in metres.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Returns `true` when `p` is within coverage.
+    #[must_use]
+    pub fn covers(&self, p: Point) -> bool {
+        self.site.distance_sq_to(p) <= self.range_m * self.range_m
+    }
+
+    /// Distance from the gateway site to `p`, in metres.
+    #[must_use]
+    pub fn distance_to(&self, p: Point) -> f64 {
+        self.site.distance_to(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_inclusive_at_the_boundary() {
+        let gw = Gateway::new(1, GatewayKind::BaseStation, Point::ORIGIN, 10.0);
+        assert!(gw.covers(Point::new(10.0, 0.0)));
+        assert!(!gw.covers(Point::new(10.001, 0.0)));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let gw = Gateway::new(3, GatewayKind::AccessPoint, Point::new(1.0, 2.0), 25.0);
+        assert_eq!(gw.id().index(), 3);
+        assert_eq!(gw.kind(), GatewayKind::AccessPoint);
+        assert_eq!(gw.site(), Point::new(1.0, 2.0));
+        assert_eq!(gw.range(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_panics() {
+        let _ = Gateway::new(0, GatewayKind::BaseStation, Point::ORIGIN, 0.0);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(GatewayKind::BaseStation.to_string(), "base station");
+        assert_eq!(GatewayKind::AccessPoint.to_string(), "access point");
+    }
+}

@@ -1,0 +1,49 @@
+//! Wireless access substrate for the mobigrid workspace.
+//!
+//! The paper's system architecture (Figure 3) routes every location update
+//! through the *mobile computing infrastructure*: a mobile node associates
+//! with a wireless gateway (a cellular base station on the roads, an 802.11
+//! access point inside buildings), and the gateway forwards the update
+//! toward the adaptive distance filter. This crate models that layer:
+//!
+//! * [`MnId`] — mobile-node identity,
+//! * [`LocationUpdate`] — the LU frame, with a fixed 32-byte wire encoding,
+//! * [`Gateway`] — a coverage site (base station or access point),
+//! * [`AccessNetwork`] — association, handoff and delivery with per-gateway
+//!   traffic accounting,
+//! * [`TrafficMeter`] — message/byte counters the experiments read.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind, LocationUpdate, MnId};
+//! use mobigrid_geo::Point;
+//!
+//! let mut net = AccessNetwork::new(vec![
+//!     Gateway::new(0, GatewayKind::BaseStation, Point::new(0.0, 0.0), 500.0),
+//! ]);
+//! let lu = LocationUpdate::new(MnId::new(7), 1.0, Point::new(30.0, 40.0), 0);
+//! let gw = net.transmit(&lu).expect("within coverage");
+//! assert_eq!(gw.index(), 0);
+//! assert_eq!(net.meter().messages(), 1);
+//! assert_eq!(net.meter().bytes(), LocationUpdate::WIRE_SIZE as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod error;
+mod gateway;
+mod message;
+mod network;
+mod outage;
+mod traffic;
+
+pub use energy::{Battery, EnergyModel};
+pub use error::WirelessError;
+pub use gateway::{Gateway, GatewayId, GatewayKind};
+pub use message::{LocationUpdate, MnId};
+pub use network::AccessNetwork;
+pub use outage::OutageSchedule;
+pub use traffic::TrafficMeter;

@@ -1,0 +1,174 @@
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use mobigrid_geo::Point;
+
+use crate::WirelessError;
+
+/// Identity of a mobile node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MnId(u32);
+
+impl MnId {
+    /// Creates an id from its raw value.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        MnId(raw)
+    }
+
+    /// The raw numeric id.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a dense array index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mn#{}", self.0)
+    }
+}
+
+impl From<u32> for MnId {
+    fn from(raw: u32) -> Self {
+        MnId(raw)
+    }
+}
+
+/// A location update (LU): the message a mobile node sends to report where
+/// it is.
+///
+/// The entire evaluation of the paper is about how many of these can be
+/// *not* sent. Each LU has a fixed 32-byte wire encoding
+/// ([`LocationUpdate::WIRE_SIZE`]) so the traffic meters can report bytes as
+/// well as message counts.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::{LocationUpdate, MnId};
+/// use mobigrid_geo::Point;
+///
+/// let lu = LocationUpdate::new(MnId::new(3), 12.0, Point::new(1.5, -2.5), 41);
+/// let wire = lu.encode();
+/// assert_eq!(wire.len(), LocationUpdate::WIRE_SIZE);
+/// assert_eq!(LocationUpdate::decode(&wire).unwrap(), lu);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationUpdate {
+    /// The reporting node.
+    pub node: MnId,
+    /// Simulation time of the report, in seconds.
+    pub time_s: f64,
+    /// Reported position.
+    pub position: Point,
+    /// Per-node sequence number (wraps at `u32::MAX`).
+    pub seq: u32,
+}
+
+impl LocationUpdate {
+    /// Size of the wire encoding in bytes: node(4) + seq(4) + time(8) +
+    /// x(8) + y(8).
+    pub const WIRE_SIZE: usize = 32;
+
+    /// Creates a location update.
+    #[must_use]
+    pub const fn new(node: MnId, time_s: f64, position: Point, seq: u32) -> Self {
+        LocationUpdate {
+            node,
+            time_s,
+            position,
+            seq,
+        }
+    }
+
+    /// Serialises to the fixed 32-byte big-endian wire format.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(Self::WIRE_SIZE);
+        buf.put_u32(self.node.raw());
+        buf.put_u32(self.seq);
+        buf.put_f64(self.time_s);
+        buf.put_f64(self.position.x);
+        buf.put_f64(self.position.y);
+        buf.freeze()
+    }
+
+    /// Parses a frame produced by [`LocationUpdate::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::MalformedFrame`] for frames shorter than
+    /// [`LocationUpdate::WIRE_SIZE`].
+    pub fn decode(mut frame: &[u8]) -> Result<Self, WirelessError> {
+        if frame.len() < Self::WIRE_SIZE {
+            return Err(WirelessError::MalformedFrame {
+                got: frame.len(),
+                needed: Self::WIRE_SIZE,
+            });
+        }
+        let node = MnId::new(frame.get_u32());
+        let seq = frame.get_u32();
+        let time_s = frame.get_f64();
+        let x = frame.get_f64();
+        let y = frame.get_f64();
+        Ok(LocationUpdate {
+            node,
+            time_s,
+            position: Point::new(x, y),
+            seq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let lu = LocationUpdate::new(MnId::new(42), 3.25, Point::new(-7.5, 1e6), 9);
+        let wire = lu.encode();
+        assert_eq!(wire.len(), LocationUpdate::WIRE_SIZE);
+        assert_eq!(LocationUpdate::decode(&wire).unwrap(), lu);
+    }
+
+    #[test]
+    fn decode_rejects_short_frames() {
+        let err = LocationUpdate::decode(&[0u8; 10]).unwrap_err();
+        assert_eq!(
+            err,
+            WirelessError::MalformedFrame {
+                got: 10,
+                needed: 32
+            }
+        );
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let lu = LocationUpdate::new(MnId::new(1), 1.0, Point::new(2.0, 3.0), 4);
+        let mut wire = lu.encode().to_vec();
+        wire.extend_from_slice(&[0xFF; 8]);
+        assert_eq!(LocationUpdate::decode(&wire).unwrap(), lu);
+    }
+
+    #[test]
+    fn mn_id_accessors() {
+        let id = MnId::new(17);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "mn#17");
+        assert_eq!(MnId::from(17u32), id);
+    }
+}

@@ -1,0 +1,306 @@
+use std::collections::BTreeMap;
+
+use mobigrid_geo::Point;
+
+use crate::{
+    Gateway, GatewayId, LocationUpdate, MnId, OutageSchedule, TrafficMeter, WirelessError,
+};
+
+/// The campus access network: a set of gateways with association, handoff
+/// tracking and per-gateway traffic accounting.
+///
+/// A node transmits through the *nearest covering* gateway. The network
+/// remembers each node's previous association so the experiments can count
+/// handoffs — the events that force a fresh location update regardless of
+/// the filter.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind, LocationUpdate, MnId};
+/// use mobigrid_geo::Point;
+///
+/// let mut net = AccessNetwork::new(vec![
+///     Gateway::new(0, GatewayKind::BaseStation, Point::new(0.0, 0.0), 100.0),
+///     Gateway::new(1, GatewayKind::BaseStation, Point::new(300.0, 0.0), 100.0),
+/// ]);
+/// let mn = MnId::new(1);
+/// net.transmit(&LocationUpdate::new(mn, 0.0, Point::new(10.0, 0.0), 0)).unwrap();
+/// net.transmit(&LocationUpdate::new(mn, 1.0, Point::new(290.0, 0.0), 1)).unwrap();
+/// assert_eq!(net.handoffs(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessNetwork {
+    gateways: Vec<Gateway>,
+    meter: TrafficMeter,
+    per_gateway: Vec<TrafficMeter>,
+    associations: BTreeMap<MnId, GatewayId>,
+    handoffs: u64,
+    dropped: u64,
+    outages: OutageSchedule,
+}
+
+impl AccessNetwork {
+    /// Creates a network from its gateways.
+    ///
+    /// # Panics
+    ///
+    /// Panics when gateway ids are not the dense sequence `0..n` — dense ids
+    /// let the per-gateway meters be plain vectors.
+    #[must_use]
+    pub fn new(gateways: Vec<Gateway>) -> Self {
+        for (i, gw) in gateways.iter().enumerate() {
+            assert_eq!(gw.id().index(), i, "gateway ids must be dense 0..n");
+        }
+        let per_gateway = vec![TrafficMeter::new(); gateways.len()];
+        AccessNetwork {
+            gateways,
+            meter: TrafficMeter::new(),
+            per_gateway,
+            associations: BTreeMap::new(),
+            handoffs: 0,
+            dropped: 0,
+            outages: OutageSchedule::new(),
+        }
+    }
+
+    /// Attaches a gateway outage schedule ("frequent disconnectivity"):
+    /// transmissions choose among gateways that are up at the frame's
+    /// timestamp.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutageSchedule) -> Self {
+        self.outages = outages;
+        self
+    }
+
+    /// The attached outage schedule.
+    #[must_use]
+    pub fn outages(&self) -> &OutageSchedule {
+        &self.outages
+    }
+
+    /// The registered gateways.
+    #[must_use]
+    pub fn gateways(&self) -> &[Gateway] {
+        &self.gateways
+    }
+
+    /// The gateway a node at `p` would associate with: nearest covering
+    /// site, ties broken by lowest id. Ignores outages (see
+    /// [`AccessNetwork::best_gateway_at`]).
+    #[must_use]
+    pub fn best_gateway(&self, p: Point) -> Option<&Gateway> {
+        self.gateways.iter().filter(|g| g.covers(p)).min_by(|a, b| {
+            a.distance_to(p)
+                .partial_cmp(&b.distance_to(p))
+                .expect("finite distances")
+        })
+    }
+
+    /// The nearest covering gateway that is *up* at `time_s`.
+    #[must_use]
+    pub fn best_gateway_at(&self, p: Point, time_s: f64) -> Option<&Gateway> {
+        self.gateways
+            .iter()
+            .filter(|g| g.covers(p) && !self.outages.is_down(g.id(), time_s))
+            .min_by(|a, b| {
+                a.distance_to(p)
+                    .partial_cmp(&b.distance_to(p))
+                    .expect("finite distances")
+            })
+    }
+
+    /// Transmits a location update from its reported position, returning the
+    /// gateway that carried it.
+    ///
+    /// Counts the frame in the aggregate and per-gateway meters and records
+    /// a handoff when the node's association changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::NoCoverage`] (and counts a drop) when no
+    /// gateway covers the position.
+    pub fn transmit(&mut self, lu: &LocationUpdate) -> Result<GatewayId, WirelessError> {
+        let Some(gw) = self
+            .best_gateway_at(lu.position, lu.time_s)
+            .map(Gateway::id)
+        else {
+            self.dropped += 1;
+            return Err(WirelessError::NoCoverage {
+                position: lu.position,
+            });
+        };
+        let frame_len = lu.encode().len();
+        self.meter.count(frame_len);
+        self.per_gateway[gw.index()].count(frame_len);
+        match self.associations.insert(lu.node, gw) {
+            Some(prev) if prev != gw => self.handoffs += 1,
+            _ => {}
+        }
+        Ok(gw)
+    }
+
+    /// Aggregate traffic across all gateways.
+    #[must_use]
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Traffic carried by one gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this network.
+    #[must_use]
+    pub fn gateway_meter(&self, id: GatewayId) -> &TrafficMeter {
+        &self.per_gateway[id.index()]
+    }
+
+    /// The gateway a node is currently associated with, if it has ever
+    /// transmitted.
+    #[must_use]
+    pub fn association(&self, node: MnId) -> Option<GatewayId> {
+        self.associations.get(&node).copied()
+    }
+
+    /// Number of association changes observed.
+    #[must_use]
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Number of transmissions dropped for lack of coverage.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Resets meters, associations and counters; gateways stay.
+    pub fn reset(&mut self) {
+        self.meter.reset();
+        for m in &mut self.per_gateway {
+            m.reset();
+        }
+        self.associations.clear();
+        self.handoffs = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GatewayKind;
+
+    fn two_cell_network() -> AccessNetwork {
+        AccessNetwork::new(vec![
+            Gateway::new(0, GatewayKind::BaseStation, Point::new(0.0, 0.0), 100.0),
+            Gateway::new(1, GatewayKind::BaseStation, Point::new(300.0, 0.0), 100.0),
+        ])
+    }
+
+    fn lu(node: u32, t: f64, x: f64) -> LocationUpdate {
+        LocationUpdate::new(MnId::new(node), t, Point::new(x, 0.0), 0)
+    }
+
+    #[test]
+    fn nearest_covering_gateway_wins() {
+        let net = two_cell_network();
+        assert_eq!(
+            net.best_gateway(Point::new(10.0, 0.0))
+                .unwrap()
+                .id()
+                .index(),
+            0
+        );
+        assert_eq!(
+            net.best_gateway(Point::new(290.0, 0.0))
+                .unwrap()
+                .id()
+                .index(),
+            1
+        );
+        assert!(net.best_gateway(Point::new(150.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn transmit_counts_traffic() {
+        let mut net = two_cell_network();
+        net.transmit(&lu(1, 0.0, 10.0)).unwrap();
+        net.transmit(&lu(2, 0.0, 20.0)).unwrap();
+        net.transmit(&lu(3, 0.0, 290.0)).unwrap();
+        assert_eq!(net.meter().messages(), 3);
+        assert_eq!(net.meter().bytes(), 96);
+        assert_eq!(net.gateway_meter(GatewayId::new(0)).messages(), 2);
+        assert_eq!(net.gateway_meter(GatewayId::new(1)).messages(), 1);
+    }
+
+    #[test]
+    fn out_of_coverage_drops() {
+        let mut net = two_cell_network();
+        let err = net.transmit(&lu(1, 0.0, 150.0)).unwrap_err();
+        assert!(matches!(err, WirelessError::NoCoverage { .. }));
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(net.meter().messages(), 0);
+    }
+
+    #[test]
+    fn handoff_detection() {
+        let mut net = two_cell_network();
+        let mn = 7;
+        net.transmit(&lu(mn, 0.0, 10.0)).unwrap();
+        assert_eq!(net.handoffs(), 0);
+        net.transmit(&lu(mn, 1.0, 20.0)).unwrap(); // same cell
+        assert_eq!(net.handoffs(), 0);
+        net.transmit(&lu(mn, 2.0, 290.0)).unwrap(); // cell change
+        assert_eq!(net.handoffs(), 1);
+        assert_eq!(net.association(MnId::new(mn)), Some(GatewayId::new(1)));
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_gateways() {
+        let mut net = two_cell_network();
+        net.transmit(&lu(1, 0.0, 10.0)).unwrap();
+        net.reset();
+        assert_eq!(net.meter().messages(), 0);
+        assert_eq!(net.handoffs(), 0);
+        assert_eq!(net.association(MnId::new(1)), None);
+        assert_eq!(net.gateways().len(), 2);
+    }
+
+    #[test]
+    fn outages_reroute_or_drop_transmissions() {
+        let mut sched = OutageSchedule::new();
+        sched.add_window(GatewayId::new(0), 0.0, 10.0);
+        let mut net = two_cell_network().with_outages(sched);
+        // During the outage the only covering gateway for x=10 is down.
+        let err = net.transmit(&lu(1, 5.0, 10.0)).unwrap_err();
+        assert!(matches!(err, WirelessError::NoCoverage { .. }));
+        assert_eq!(net.dropped(), 1);
+        // After the window the same transmission succeeds.
+        let gw = net.transmit(&lu(1, 10.0, 10.0)).unwrap();
+        assert_eq!(gw.index(), 0);
+    }
+
+    #[test]
+    fn best_gateway_at_skips_down_gateways() {
+        let mut sched = OutageSchedule::new();
+        sched.add_window(GatewayId::new(0), 0.0, 100.0);
+        let net = two_cell_network().with_outages(sched);
+        // x=10 is only covered by gateway 0, which is down.
+        assert!(net.best_gateway_at(Point::new(10.0, 0.0), 50.0).is_none());
+        // Time-unaware lookup still sees it.
+        assert!(net.best_gateway(Point::new(10.0, 0.0)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let _ = AccessNetwork::new(vec![Gateway::new(
+            5,
+            GatewayKind::BaseStation,
+            Point::ORIGIN,
+            10.0,
+        )]);
+    }
+}

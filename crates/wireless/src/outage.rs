@@ -1,0 +1,118 @@
+//! Gateway outage schedules.
+//!
+//! The paper lists "frequent disconnectivity" among the mobile grid's
+//! defining constraints. This module models it at the infrastructure side:
+//! gateways go down for scheduled windows, during which the nodes they
+//! cover cannot deliver location updates — the broker must ride out the gap
+//! on its estimator, exactly like a filtered update.
+
+use serde::{Deserialize, Serialize};
+
+use crate::GatewayId;
+
+/// A per-gateway schedule of downtime windows.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::{GatewayId, OutageSchedule};
+///
+/// let mut sched = OutageSchedule::new();
+/// sched.add_window(GatewayId::new(0), 10.0, 20.0);
+/// assert!(sched.is_down(GatewayId::new(0), 15.0));
+/// assert!(!sched.is_down(GatewayId::new(0), 25.0));
+/// assert!(!sched.is_down(GatewayId::new(1), 15.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    /// `(gateway, start_s, end_s)` windows; half-open `[start, end)`.
+    windows: Vec<(GatewayId, f64, f64)>,
+}
+
+impl OutageSchedule {
+    /// Creates an empty schedule (all gateways always up).
+    #[must_use]
+    pub fn new() -> Self {
+        OutageSchedule::default()
+    }
+
+    /// Adds a downtime window `[start_s, end_s)` for `gateway`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty or reversed, or the bounds are not
+    /// finite.
+    pub fn add_window(&mut self, gateway: GatewayId, start_s: f64, end_s: f64) {
+        assert!(
+            start_s.is_finite() && end_s.is_finite() && end_s > start_s,
+            "outage window must be a non-empty forward interval"
+        );
+        self.windows.push((gateway, start_s, end_s));
+    }
+
+    /// Whether `gateway` is down at `time_s`.
+    #[must_use]
+    pub fn is_down(&self, gateway: GatewayId, time_s: f64) -> bool {
+        self.windows
+            .iter()
+            .any(|(g, s, e)| *g == gateway && time_s >= *s && time_s < *e)
+    }
+
+    /// Number of scheduled windows.
+    #[must_use]
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total scheduled downtime for `gateway`, in seconds (overlapping
+    /// windows are double-counted; schedules are expected to be disjoint).
+    #[must_use]
+    pub fn total_downtime(&self, gateway: GatewayId) -> f64 {
+        self.windows
+            .iter()
+            .filter(|(g, _, _)| *g == gateway)
+            .map(|(_, s, e)| e - s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let mut s = OutageSchedule::new();
+        s.add_window(GatewayId::new(2), 5.0, 8.0);
+        assert!(!s.is_down(GatewayId::new(2), 4.999));
+        assert!(s.is_down(GatewayId::new(2), 5.0));
+        assert!(s.is_down(GatewayId::new(2), 7.999));
+        assert!(!s.is_down(GatewayId::new(2), 8.0));
+    }
+
+    #[test]
+    fn schedules_are_per_gateway() {
+        let mut s = OutageSchedule::new();
+        s.add_window(GatewayId::new(0), 0.0, 100.0);
+        assert!(s.is_down(GatewayId::new(0), 50.0));
+        assert!(!s.is_down(GatewayId::new(1), 50.0));
+    }
+
+    #[test]
+    fn downtime_totals() {
+        let mut s = OutageSchedule::new();
+        s.add_window(GatewayId::new(0), 0.0, 10.0);
+        s.add_window(GatewayId::new(0), 20.0, 25.0);
+        s.add_window(GatewayId::new(1), 0.0, 1.0);
+        assert!((s.total_downtime(GatewayId::new(0)) - 15.0).abs() < 1e-12);
+        assert!((s.total_downtime(GatewayId::new(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(s.window_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward interval")]
+    fn reversed_window_panics() {
+        let mut s = OutageSchedule::new();
+        s.add_window(GatewayId::new(0), 5.0, 5.0);
+    }
+}

@@ -1,0 +1,92 @@
+/// Message and byte counters for a link or an aggregate.
+///
+/// The paper's Figures 4–6 are all derived from counters like these: how
+/// many location updates crossed the air interface, in total and per region.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_wireless::TrafficMeter;
+///
+/// let mut m = TrafficMeter::new();
+/// m.count(32);
+/// m.count(32);
+/// assert_eq!(m.messages(), 2);
+/// assert_eq!(m.bytes(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficMeter {
+    messages: u64,
+    bytes: u64,
+}
+
+impl TrafficMeter {
+    /// Creates a zeroed meter.
+    #[must_use]
+    pub fn new() -> Self {
+        TrafficMeter::default()
+    }
+
+    /// Records one message of `bytes` length.
+    pub fn count(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Messages recorded.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes recorded.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Adds another meter's counts into this one.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&mut self) {
+        *self = TrafficMeter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = TrafficMeter::new();
+        m.count(10);
+        m.count(22);
+        assert_eq!(m.messages(), 2);
+        assert_eq!(m.bytes(), 32);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = TrafficMeter::new();
+        a.count(8);
+        let mut b = TrafficMeter::new();
+        b.count(8);
+        b.count(8);
+        a.merge(&b);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.bytes(), 24);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = TrafficMeter::new();
+        m.count(100);
+        m.reset();
+        assert_eq!(m, TrafficMeter::new());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the wireless access substrate.
+
+use mobigrid_geo::Point;
+use mobigrid_wireless::{
+    AccessNetwork, Battery, EnergyModel, Gateway, GatewayKind, LocationUpdate, MnId,
+};
+use proptest::prelude::*;
+
+fn grid_network(cells: u32, range: f64) -> AccessNetwork {
+    let gateways = (0..cells)
+        .map(|i| {
+            Gateway::new(
+                i,
+                GatewayKind::BaseStation,
+                Point::new(f64::from(i) * 100.0, 0.0),
+                range,
+            )
+        })
+        .collect();
+    AccessNetwork::new(gateways)
+}
+
+proptest! {
+    #[test]
+    fn lu_wire_format_round_trips(
+        node in any::<u32>(),
+        seq in any::<u32>(),
+        t in -1.0e6..1.0e6f64,
+        x in -1.0e6..1.0e6f64,
+        y in -1.0e6..1.0e6f64,
+    ) {
+        let lu = LocationUpdate::new(MnId::new(node), t, Point::new(x, y), seq);
+        let wire = lu.encode();
+        prop_assert_eq!(wire.len(), LocationUpdate::WIRE_SIZE);
+        prop_assert_eq!(LocationUpdate::decode(&wire).unwrap(), lu);
+    }
+
+    #[test]
+    fn association_always_picks_a_covering_gateway(
+        x in 0.0..400.0f64,
+        y in -50.0..50.0f64,
+    ) {
+        let net = grid_network(5, 120.0);
+        let p = Point::new(x, y);
+        let best = net.best_gateway(p);
+        // Coverage is contiguous with this spacing, so a gateway exists…
+        let gw = best.expect("grid covers the strip");
+        // …it covers the point…
+        prop_assert!(gw.covers(p));
+        // …and no other gateway is strictly nearer.
+        for other in net.gateways() {
+            if other.covers(p) {
+                prop_assert!(gw.distance_to(p) <= other.distance_to(p) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_meter_counts_every_successful_transmit(
+        xs in prop::collection::vec(0.0..400.0f64, 1..50),
+    ) {
+        let mut net = grid_network(5, 120.0);
+        let mut expected = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            let lu = LocationUpdate::new(MnId::new(0), i as f64, Point::new(*x, 0.0), i as u32);
+            if net.transmit(&lu).is_ok() {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(net.meter().messages(), expected);
+        prop_assert_eq!(net.meter().bytes(), expected * LocationUpdate::WIRE_SIZE as u64);
+        prop_assert_eq!(net.dropped() + expected, xs.len() as u64);
+    }
+
+    #[test]
+    fn battery_never_goes_negative_and_counts_frames(
+        capacity in 0.0..10.0f64,
+        frames in 1usize..200,
+    ) {
+        let model = EnergyModel::default();
+        let mut battery = Battery::new(capacity, model);
+        let mut sent = 0u64;
+        for _ in 0..frames {
+            if battery.transmit(LocationUpdate::WIRE_SIZE) {
+                sent += 1;
+            }
+        }
+        prop_assert!(battery.remaining_j() >= 0.0);
+        prop_assert_eq!(battery.frames_sent(), sent);
+        let cost = model.frame_cost_j(LocationUpdate::WIRE_SIZE);
+        prop_assert!((battery.consumed_j() - sent as f64 * cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handoffs_never_exceed_transmissions(
+        xs in prop::collection::vec(0.0..400.0f64, 1..80),
+    ) {
+        let mut net = grid_network(5, 250.0);
+        let mut ok = 0u64;
+        for (i, x) in xs.iter().enumerate() {
+            let lu = LocationUpdate::new(MnId::new(1), i as f64, Point::new(*x, 0.0), i as u32);
+            if net.transmit(&lu).is_ok() {
+                ok += 1;
+            }
+        }
+        prop_assert!(net.handoffs() <= ok.saturating_sub(1).max(0));
+    }
+}

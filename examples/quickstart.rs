@@ -1,0 +1,52 @@
+//! Quickstart: run the paper's headline experiment for two simulated
+//! minutes and print the traffic reduction and location error.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mobigrid::adf::{AdaptiveDistanceFilter, AdfConfig, SimBuilder};
+use mobigrid::campus::Campus;
+use mobigrid::experiments::workload;
+
+fn main() {
+    // The Figure-1 campus: 6 buildings, 5 roads, 2 gates.
+    let campus = Campus::inha_like();
+    println!(
+        "campus: {} regions, graph of {} waypoints",
+        campus.regions().len(),
+        campus.graph().node_count()
+    );
+
+    // The Table-1 population: 140 nodes, deterministic from the seed.
+    let nodes = workload::generate_population(&campus, 42);
+    println!("population: {} mobile nodes", nodes.len());
+
+    // The adaptive distance filter at DTH = 1.0 × cluster average velocity.
+    let adf = AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid configuration");
+    let mut sim = SimBuilder::new()
+        .nodes(nodes)
+        .policy(adf)
+        .network(workload::default_network(&campus))
+        .build()
+        .expect("valid simulation");
+
+    let stats = sim.run(120);
+
+    let sent: u64 = stats.iter().map(|t| u64::from(t.sent)).sum();
+    let observed: u64 = stats.iter().map(|t| u64::from(t.observed)).sum();
+    let reduction = 100.0 * (1.0 - sent as f64 / observed as f64);
+    println!("\nafter {} simulated seconds:", stats.len());
+    println!("  location updates observed:    {observed}");
+    println!("  location updates transmitted: {sent} ({reduction:.1}% reduction)");
+
+    let meter = sim.network().expect("network attached").meter();
+    println!("  bytes over the air:           {}", meter.bytes());
+
+    let last = stats.last().expect("ran at least one tick");
+    println!(
+        "  location RMSE without LE:     {:.2} m",
+        last.rmse_without_le
+    );
+    println!("  location RMSE with LE:        {:.2} m", last.rmse_with_le);
+}

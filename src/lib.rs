@@ -1,0 +1,60 @@
+//! # mobigrid — adaptive distance filter-based traffic reduction for mobile grids
+//!
+//! A from-scratch Rust reproduction of *Adaptive Distance Filter-based
+//! Traffic Reduction for Mobile Grid* (Kim, Jang & Lee, ICDCS Workshops
+//! 2007): the ADF algorithm itself plus every substrate its evaluation
+//! depends on — campus model, mobility generators, wireless access layer, a
+//! miniature HLA run-time infrastructure, statistical estimators and the
+//! experiment harness regenerating each of the paper's tables and figures.
+//!
+//! This umbrella crate re-exports the workspace crates under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`geo`] | `mobigrid-geo` | 2-D geometry: points, headings, polylines, regions |
+//! | [`sim`] | `mobigrid-sim` | Discrete-event kernel, deterministic RNG, statistics |
+//! | [`hla`] | `mobigrid-hla` | Mini HLA 1.3 RTI: pub/sub, object, time management |
+//! | [`campus`] | `mobigrid-campus` | The Figure-1 experiment site and routing |
+//! | [`mobility`] | `mobigrid-mobility` | SS/RMS/LMS mobility models, schedules, traces |
+//! | [`wireless`] | `mobigrid-wireless` | Gateways, coverage, LU frames, traffic meters |
+//! | [`forecast`] | `mobigrid-forecast` | Exponential smoothing family, position estimators |
+//! | [`cluster`] | `mobigrid-cluster` | Sequential clustering (BSAS), k-means baseline |
+//! | [`adf`] | `mobigrid-adf` | **The paper's contribution**: classifier, filters, broker, pipeline |
+//! | [`experiments`] | `mobigrid-experiments` | Table-1 workload and figure regeneration |
+//!
+//! # Quickstart
+//!
+//! Run the paper's headline experiment in a few lines:
+//!
+//! ```
+//! use mobigrid::adf::{AdaptiveDistanceFilter, AdfConfig, SimBuilder};
+//! use mobigrid::campus::Campus;
+//! use mobigrid::experiments::workload;
+//!
+//! let campus = Campus::inha_like();
+//! let nodes = workload::generate_population(&campus, 42);
+//! let mut sim = SimBuilder::new()
+//!     .nodes(nodes)
+//!     .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+//!     .build()
+//!     .unwrap();
+//!
+//! let stats = sim.run(60); // one simulated minute
+//! let sent: u32 = stats.iter().map(|t| t.sent).sum();
+//! let observed: u32 = stats.iter().map(|t| t.observed).sum();
+//! assert!(sent < observed); // the filter reduced traffic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mobigrid_adf as adf;
+pub use mobigrid_campus as campus;
+pub use mobigrid_cluster as cluster;
+pub use mobigrid_experiments as experiments;
+pub use mobigrid_forecast as forecast;
+pub use mobigrid_geo as geo;
+pub use mobigrid_hla as hla;
+pub use mobigrid_mobility as mobility;
+pub use mobigrid_sim as sim;
+pub use mobigrid_wireless as wireless;

@@ -1,0 +1,111 @@
+//! Cross-substrate equivalence: the distance filter run through the HLA
+//! federation produces exactly the same decisions as the filter driven
+//! directly — the RTI adds distribution, not behaviour.
+
+use mobigrid::adf::DistanceFilter;
+use mobigrid::campus::{Campus, RegionShape};
+use mobigrid::hla::{Callback, FedTime, ObjectModel, Rti};
+use mobigrid::mobility::{MobilityModel, RoadPatroller};
+use mobigrid::wireless::{LocationUpdate, MnId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn node_positions(ticks: u64) -> Vec<mobigrid::geo::Point> {
+    let campus = Campus::inha_like();
+    let road = campus.region_by_name("R1").expect("R1 exists");
+    let RegionShape::Corridor { spine, .. } = road.shape() else {
+        unreachable!("roads are corridors");
+    };
+    let mut node = RoadPatroller::new(spine.clone(), (1.0, 4.0), 40.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    (0..ticks).map(|_| node.step(1.0, &mut rng)).collect()
+}
+
+#[test]
+fn federated_filtering_matches_direct_filtering() {
+    let positions = node_positions(150);
+
+    // --- Direct run -------------------------------------------------------
+    let mut direct = DistanceFilter::new(2.0);
+    let direct_decisions: Vec<bool> = positions
+        .iter()
+        .map(|p| direct.observe(*p).is_sent())
+        .collect();
+
+    // --- Federated run ----------------------------------------------------
+    let mut fom = ObjectModel::new();
+    let class = fom.add_object_class("RawLocation");
+    let attr = fom.add_attribute(class, "lu").expect("fresh attribute");
+    let rti = Rti::new();
+    rti.create_federation("eq", fom).expect("fresh name");
+    let mn_fed = rti.join("eq", "mn").expect("federation exists");
+    let adf_fed = rti.join("eq", "adf").expect("federation exists");
+    mn_fed.publish_object_class(class).expect("declared");
+    adf_fed
+        .subscribe_object_class(class, &[attr])
+        .expect("declared");
+    for f in [&mn_fed, &adf_fed] {
+        f.enable_time_regulation(FedTime::from_secs_f64(0.5))
+            .expect("first enable");
+        f.enable_time_constrained().expect("first enable");
+    }
+    let obj = mn_fed.register_object(class).expect("published");
+    adf_fed.tick().expect("joined");
+
+    let mut federated = DistanceFilter::new(2.0);
+    let mut federated_decisions = Vec::new();
+    for (i, pos) in positions.iter().enumerate() {
+        let now = FedTime::from_secs(i as u64 + 1);
+        let lu = LocationUpdate::new(MnId::new(0), (i + 1) as f64, *pos, i as u32);
+        mn_fed
+            .update_attributes(obj, vec![(attr, lu.encode().to_vec())], Some(now))
+            .expect("owned object");
+        mn_fed.request_time_advance(now).expect("monotone");
+        adf_fed.request_time_advance(now).expect("monotone");
+        for cb in adf_fed.tick().expect("joined") {
+            if let Callback::ReflectAttributes { values, .. } = cb {
+                let lu = LocationUpdate::decode(&values[0].1).expect("well-formed");
+                federated_decisions.push(federated.observe(lu.position).is_sent());
+            }
+        }
+        mn_fed.tick().expect("joined");
+    }
+
+    assert_eq!(federated_decisions.len(), direct_decisions.len());
+    assert_eq!(federated_decisions, direct_decisions);
+}
+
+#[test]
+fn federation_synchronises_phases_with_sync_points() {
+    // The experiments use a "population-ready" barrier before starting the
+    // clock; verify the full announce/achieve/synchronised protocol across
+    // three federates.
+    let rti = Rti::new();
+    rti.create_federation("sync", ObjectModel::new())
+        .expect("fresh");
+    let feds: Vec<_> = ["mn", "adf", "broker"]
+        .iter()
+        .map(|n| rti.join("sync", *n).expect("federation exists"))
+        .collect();
+
+    feds[0]
+        .register_sync_point("population-ready")
+        .expect("fresh label");
+    for f in &feds {
+        let announced = f.tick().expect("joined").iter().any(
+            |c| matches!(c, Callback::SyncPointAnnounced { label } if label == "population-ready"),
+        );
+        assert!(announced, "{} missed the announcement", f.name());
+    }
+    for f in &feds {
+        f.achieve_sync_point("population-ready").expect("announced");
+    }
+    for f in &feds {
+        let synced = f
+            .tick()
+            .expect("joined")
+            .iter()
+            .any(|c| matches!(c, Callback::FederationSynchronized { label } if label == "population-ready"));
+        assert!(synced, "{} missed the synchronised callback", f.name());
+    }
+}

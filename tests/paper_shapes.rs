@@ -1,0 +1,99 @@
+//! Experiment smoke tests: assert the qualitative shape of every figure the
+//! paper reports, on a medium-length run.
+
+use std::sync::OnceLock;
+
+use mobigrid::experiments::campaign::{run_campaign, CampaignData};
+use mobigrid::experiments::config::ExperimentConfig;
+use mobigrid::experiments::{fig4, fig5, fig6, fig7, fig89, table1};
+
+fn data() -> &'static CampaignData {
+    static DATA: OnceLock<CampaignData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        run_campaign(&ExperimentConfig {
+            duration_ticks: 600,
+            ..ExperimentConfig::default()
+        })
+    })
+}
+
+#[test]
+fn table1_population_is_the_papers() {
+    let t = table1::compute();
+    assert_eq!(t.total(), 140);
+    assert_eq!(t.rows.len(), 5);
+}
+
+#[test]
+fn fig4_shape_adf_reduces_traffic_ordered_by_factor() {
+    let fig = fig4::compute(data());
+    // Ideal first at ~140 LU/s.
+    assert_eq!(fig.mean_lu_per_sec[0].0, "ideal");
+    assert!((fig.mean_lu_per_sec[0].1 - 140.0).abs() < 1e-9);
+    // Paper: 30–77 % reduction range across 0.75–1.25 av.
+    let reductions: Vec<f64> = fig.reduction_pct[1..].iter().map(|r| r.1).collect();
+    assert!(reductions[0] > 15.0, "0.75av too weak: {reductions:?}");
+    assert!(reductions[2] > 60.0, "1.25av too weak: {reductions:?}");
+    assert!(reductions.windows(2).all(|w| w[1] > w[0]));
+}
+
+#[test]
+fn fig5_shape_accumulated_savings_grow_with_factor() {
+    let fig = fig5::compute(data());
+    let savings: Vec<u64> = fig.saved_vs_ideal[1..].iter().map(|s| s.1).collect();
+    assert!(savings.windows(2).all(|w| w[1] > w[0]), "{savings:?}");
+    // Ideal accumulates exactly nodes × ticks.
+    assert_eq!(fig.totals[0].1, 140 * 600);
+}
+
+#[test]
+fn fig6_shape_transmission_rates_fall_with_factor() {
+    let fig = fig6::compute(data());
+    for w in fig.rates.windows(2) {
+        assert!(w[1].road_pct < w[0].road_pct);
+        assert!(w[1].building_pct < w[0].building_pct);
+    }
+    // Paper: at the smallest DTH buildings are filtered relatively harder.
+    assert!(fig.rates[0].building_pct < fig.rates[0].road_pct);
+}
+
+#[test]
+fn fig7_shape_le_cuts_error_at_every_factor() {
+    let fig = fig7::compute(data());
+    for row in &fig.summary {
+        assert!(
+            row.rmse_with_le < row.rmse_without_le,
+            "LE failed at {:.2}av: {row:?}",
+            row.factor
+        );
+        assert!(row.le_ratio_pct() < 100.0);
+    }
+    // Error grows with the DTH factor.
+    assert!(fig.summary[2].rmse_without_le > fig.summary[0].rmse_without_le);
+}
+
+#[test]
+fn fig89_shape_road_error_dominates_building_error() {
+    let fig = fig89::compute(data());
+    for row in fig.without_le.iter().chain(&fig.with_le) {
+        assert!(
+            row.road_to_building_ratio() > 2.0,
+            "paper reports ~4.5x; got {row:?}"
+        );
+    }
+}
+
+#[test]
+fn reports_render_for_every_figure() {
+    let d = data();
+    for text in [
+        table1::compute().to_string(),
+        fig4::compute(d).to_string(),
+        fig5::compute(d).to_string(),
+        fig6::compute(d).to_string(),
+        fig7::compute(d).to_string(),
+        fig89::compute(d).to_string(),
+    ] {
+        assert!(!text.trim().is_empty());
+    }
+}
