@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — the same three steps the GitHub workflow runs.
+#
+#   ./ci.sh
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

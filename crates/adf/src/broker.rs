@@ -1,5 +1,3 @@
-use std::collections::BTreeMap;
-
 use mobigrid_forecast::{
     AxisSmoothing, BrownPositionEstimator, DeadReckoning, HoltLinear, LastKnown, PositionEstimator,
 };
@@ -108,12 +106,170 @@ pub struct LocationRecord {
     pub estimated: bool,
 }
 
+/// Everything the broker tracks for one node, stored densely by `MnId`
+/// index: the current belief, the per-node estimator and the registration
+/// anchor.
+#[derive(Default)]
+struct NodeSlot {
+    record: Option<LocationRecord>,
+    estimator: Option<Box<dyn PositionEstimator + Send>>,
+    home_anchor: Option<Point>,
+}
+
+impl NodeSlot {
+    /// Ingests a received update. Returns `true` when this created the
+    /// node's first record.
+    fn receive(&mut self, kind: EstimatorKind, lu: &LocationUpdate) -> bool {
+        let fresh = self.record.is_none();
+        self.record = Some(LocationRecord {
+            position: lu.position,
+            time_s: lu.time_s,
+            estimated: false,
+        });
+        let anchor = self.home_anchor;
+        self.estimator
+            .get_or_insert_with(|| {
+                let mut est = kind.build();
+                if let Some(a) = anchor {
+                    est.set_home_anchor(a);
+                }
+                est
+            })
+            .observe(lu.time_s, lu.position);
+        fresh
+    }
+
+    /// Stores an estimate for a filtered update. Returns
+    /// `(estimate_stored, first_record)`.
+    fn note_filtered(&mut self, time_s: f64) -> (bool, bool) {
+        let Some(est) = &self.estimator else {
+            return (false, false);
+        };
+        let Some(position) = est.estimate(time_s) else {
+            return (false, false);
+        };
+        let fresh = self.record.is_none();
+        self.record = Some(LocationRecord {
+            position,
+            time_s,
+            estimated: true,
+        });
+        (true, fresh)
+    }
+}
+
+/// Counter changes accumulated by a [`BrokerShard`], merged back into the
+/// owning [`GridBroker`] in shard order after a parallel region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerDelta {
+    /// Updates received.
+    pub received: u64,
+    /// Estimates performed.
+    pub estimated: u64,
+    /// Nodes that gained their first record.
+    pub fresh_records: u64,
+}
+
+impl BrokerDelta {
+    /// Folds another delta into this one. Pure `u64` addition, so the merge
+    /// is exact and associative.
+    pub fn merge(&mut self, other: &BrokerDelta) {
+        self.received += other.received;
+        self.estimated += other.estimated;
+        self.fresh_records += other.fresh_records;
+    }
+}
+
+/// A mutable view over one contiguous shard of a [`GridBroker`]'s node
+/// slots, for use inside a parallel region.
+///
+/// The shard owns slots for node indices `[base, base + len)` and keeps its
+/// counter changes in a local [`BrokerDelta`]; the caller merges the deltas
+/// back with [`GridBroker::apply_delta`] **in shard order** once every shard
+/// has completed. Because shards cover disjoint index ranges, per-node state
+/// never races, and because the reduction order is fixed, results do not
+/// depend on how shards were scheduled across threads.
+pub struct BrokerShard<'a> {
+    kind: EstimatorKind,
+    base: usize,
+    slots: &'a mut [NodeSlot],
+    delta: BrokerDelta,
+}
+
+impl BrokerShard<'_> {
+    /// First node index covered by this shard.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of nodes covered by this shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the shard covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot_mut(&mut self, node: MnId) -> &mut NodeSlot {
+        let local = node
+            .index()
+            .checked_sub(self.base)
+            .filter(|i| *i < self.slots.len())
+            .expect("node id outside this broker shard");
+        &mut self.slots[local]
+    }
+
+    /// Ingests a received location update for a node in this shard.
+    pub fn receive(&mut self, lu: &LocationUpdate) {
+        let kind = self.kind;
+        let fresh = self.slot_mut(lu.node).receive(kind, lu);
+        self.delta.received += 1;
+        self.delta.fresh_records += u64::from(fresh);
+    }
+
+    /// Notes a filtered update for a node in this shard: estimates and
+    /// stores its position, as [`GridBroker::note_filtered`] does.
+    pub fn note_filtered(&mut self, node: MnId, time_s: f64) {
+        let (estimated, fresh) = self.slot_mut(node).note_filtered(time_s);
+        self.delta.estimated += u64::from(estimated);
+        self.delta.fresh_records += u64::from(fresh);
+    }
+
+    /// The shard's current belief about a node — a direct dense-slot read,
+    /// no map lookup.
+    #[must_use]
+    pub fn location(&self, node: MnId) -> Option<&LocationRecord> {
+        let local = node
+            .index()
+            .checked_sub(self.base)
+            .filter(|i| *i < self.slots.len())
+            .expect("node id outside this broker shard");
+        self.slots[local].record.as_ref()
+    }
+
+    /// Consumes the shard, yielding the counter changes it accumulated.
+    #[must_use]
+    pub fn into_delta(self) -> BrokerDelta {
+        self.delta
+    }
+}
+
 /// The grid broker's location service: a location DB plus the location
 /// estimator (Figure 3's right-hand side).
 ///
 /// Received updates are stored verbatim and fed to the per-node estimator;
 /// when an update is filtered the broker asks the estimator for the node's
 /// likely position and stores that instead, flagged as estimated.
+///
+/// Per-node state lives in a dense vector indexed by [`MnId::index`] — node
+/// ids are expected to be (near-)dense, as [`crate::SimBuilder`] enforces;
+/// storage is proportional to the largest id seen. Sparse-id callers keep
+/// working: slots are grown on demand and untouched slots hold no record.
 ///
 /// # Examples
 ///
@@ -136,9 +292,8 @@ pub struct LocationRecord {
 /// ```
 pub struct GridBroker {
     kind: EstimatorKind,
-    records: BTreeMap<MnId, LocationRecord>,
-    estimators: BTreeMap<MnId, Box<dyn PositionEstimator + Send>>,
-    home_anchors: BTreeMap<MnId, Point>,
+    slots: Vec<NodeSlot>,
+    live_records: usize,
     received: u64,
     estimated: u64,
 }
@@ -147,7 +302,7 @@ impl std::fmt::Debug for GridBroker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GridBroker")
             .field("kind", &self.kind)
-            .field("nodes", &self.records.len())
+            .field("nodes", &self.live_records)
             .field("received", &self.received)
             .field("estimated", &self.estimated)
             .finish()
@@ -164,12 +319,20 @@ impl GridBroker {
         kind.validate()?;
         Ok(GridBroker {
             kind,
-            records: BTreeMap::new(),
-            estimators: BTreeMap::new(),
-            home_anchors: BTreeMap::new(),
+            slots: Vec::new(),
+            live_records: 0,
             received: 0,
             estimated: 0,
         })
+    }
+
+    /// Pre-sizes the dense slot storage for node indices `0..n`. Growing is
+    /// otherwise on demand; pre-sizing lets [`GridBroker::shard_views`]
+    /// cover the whole population.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, NodeSlot::default);
+        }
     }
 
     /// Registers where `node` lives (its home region's centre) as prior
@@ -178,8 +341,10 @@ impl GridBroker {
     /// long-horizon anchor shrink toward it while a node's own history is
     /// thin.
     pub fn set_home_anchor(&mut self, node: MnId, anchor: Point) {
-        self.home_anchors.insert(node, anchor);
-        if let Some(est) = self.estimators.get_mut(&node) {
+        self.ensure_nodes(node.index() + 1);
+        let slot = &mut self.slots[node.index()];
+        slot.home_anchor = Some(anchor);
+        if let Some(est) = &mut slot.estimator {
             est.set_home_anchor(anchor);
         }
     }
@@ -192,27 +357,11 @@ impl GridBroker {
 
     /// Ingests a received location update.
     pub fn receive(&mut self, lu: &LocationUpdate) {
-        self.received += 1;
-        self.records.insert(
-            lu.node,
-            LocationRecord {
-                position: lu.position,
-                time_s: lu.time_s,
-                estimated: false,
-            },
-        );
+        self.ensure_nodes(lu.node.index() + 1);
         let kind = self.kind;
-        let anchor = self.home_anchors.get(&lu.node).copied();
-        self.estimators
-            .entry(lu.node)
-            .or_insert_with(|| {
-                let mut est = kind.build();
-                if let Some(a) = anchor {
-                    est.set_home_anchor(a);
-                }
-                est
-            })
-            .observe(lu.time_s, lu.position);
+        let fresh = self.slots[lu.node.index()].receive(kind, lu);
+        self.received += 1;
+        self.live_records += usize::from(fresh);
     }
 
     /// Notes that `node`'s update at `time_s` was filtered: estimates its
@@ -221,32 +370,54 @@ impl GridBroker {
     /// A node never heard from has no record and no estimator; the call is
     /// a no-op then (the broker cannot invent a location).
     pub fn note_filtered(&mut self, node: MnId, time_s: f64) {
-        let Some(est) = self.estimators.get(&node) else {
+        let Some(slot) = self.slots.get_mut(node.index()) else {
             return;
         };
-        if let Some(position) = est.estimate(time_s) {
-            self.estimated += 1;
-            self.records.insert(
-                node,
-                LocationRecord {
-                    position,
-                    time_s,
-                    estimated: true,
-                },
-            );
-        }
+        let (estimated, fresh) = slot.note_filtered(time_s);
+        self.estimated += u64::from(estimated);
+        self.live_records += usize::from(fresh);
     }
 
     /// The broker's current belief about `node`.
     #[must_use]
     pub fn location(&self, node: MnId) -> Option<LocationRecord> {
-        self.records.get(&node).copied()
+        self.slots.get(node.index()).and_then(|s| s.record)
+    }
+
+    /// Splits the broker's slots into contiguous shards of `shard_size`
+    /// nodes for a parallel region. Call [`GridBroker::ensure_nodes`] first
+    /// so the shards cover the whole population; merge each shard's
+    /// [`BrokerDelta`] back with [`GridBroker::apply_delta`] in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_size` is zero.
+    pub fn shard_views(&mut self, shard_size: usize) -> Vec<BrokerShard<'_>> {
+        assert!(shard_size > 0, "shard size must be positive");
+        let kind = self.kind;
+        self.slots
+            .chunks_mut(shard_size)
+            .enumerate()
+            .map(|(i, slots)| BrokerShard {
+                kind,
+                base: i * shard_size,
+                slots,
+                delta: BrokerDelta::default(),
+            })
+            .collect()
+    }
+
+    /// Merges a shard's counter changes back into the broker.
+    pub fn apply_delta(&mut self, delta: &BrokerDelta) {
+        self.received += delta.received;
+        self.estimated += delta.estimated;
+        self.live_records += delta.fresh_records as usize;
     }
 
     /// Number of nodes with a record in the location DB.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.records.len()
+        self.live_records
     }
 
     /// Updates received.
@@ -354,5 +525,77 @@ mod tests {
         let rec = b.location(MnId::new(1)).unwrap();
         assert!((rec.position.x - 31.0).abs() < 1.0);
         assert!((rec.position.y - 62.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn anchor_set_before_first_update_reaches_estimator() {
+        // The anchor is registered before any update arrives; the slot must
+        // hand it to the estimator it lazily builds on first receive.
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        b.set_home_anchor(MnId::new(0), Point::new(7.0, 7.0));
+        b.receive(&lu(0, 0.0, 1.0, 1.0));
+        assert_eq!(b.node_count(), 1);
+        assert!(b.location(MnId::new(0)).is_some());
+    }
+
+    #[test]
+    fn shard_views_partition_the_population() {
+        let mut b = GridBroker::new(EstimatorKind::WithoutLe).unwrap();
+        b.ensure_nodes(10);
+        let shards = b.shard_views(4);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards.iter().map(BrokerShard::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        assert_eq!(
+            shards.iter().map(BrokerShard::base).collect::<Vec<_>>(),
+            vec![0, 4, 8]
+        );
+    }
+
+    #[test]
+    fn shard_updates_match_sequential_updates() {
+        let mut seq = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        let mut sharded = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        sharded.ensure_nodes(6);
+
+        for t in 0..5 {
+            for node in 0..6u32 {
+                seq.receive(&lu(node, t as f64, f64::from(node) + t as f64, 0.0));
+            }
+        }
+        seq.note_filtered(MnId::new(2), 5.0);
+
+        {
+            let mut shards = sharded.shard_views(4);
+            for t in 0..5 {
+                for node in 0..6u32 {
+                    let shard = &mut shards[node as usize / 4];
+                    shard.receive(&lu(node, t as f64, f64::from(node) + t as f64, 0.0));
+                }
+            }
+            shards[0].note_filtered(MnId::new(2), 5.0);
+            let deltas: Vec<BrokerDelta> = shards.into_iter().map(BrokerShard::into_delta).collect();
+            for d in &deltas {
+                sharded.apply_delta(d);
+            }
+        }
+
+        assert_eq!(seq.received_count(), sharded.received_count());
+        assert_eq!(seq.estimated_count(), sharded.estimated_count());
+        assert_eq!(seq.node_count(), sharded.node_count());
+        for node in 0..6u32 {
+            assert_eq!(seq.location(MnId::new(node)), sharded.location(MnId::new(node)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside this broker shard")]
+    fn shard_rejects_foreign_node() {
+        let mut b = GridBroker::new(EstimatorKind::WithoutLe).unwrap();
+        b.ensure_nodes(8);
+        let mut shards = b.shard_views(4);
+        shards[0].receive(&lu(6, 0.0, 0.0, 0.0));
     }
 }

@@ -49,7 +49,7 @@ mod pipeline;
 mod policy;
 mod stats;
 
-pub use broker::{EstimatorKind, GridBroker, LocationRecord};
+pub use broker::{BrokerDelta, BrokerShard, EstimatorKind, GridBroker, LocationRecord};
 pub use classifier::{MobilityClassifier, MotionSample};
 pub use config::AdfConfig;
 pub use filter::{Decision, DistanceFilter, FilterReference};

@@ -1,8 +1,19 @@
 use mobigrid_campus::RegionKind;
+use mobigrid_geo::Point;
+use mobigrid_sim::par::ShardPool;
 use mobigrid_sim::stats::Rmse;
-use mobigrid_wireless::{AccessNetwork, LocationUpdate};
+use mobigrid_wireless::{AccessNetwork, LocationUpdate, MnId};
 
+use crate::broker::{BrokerDelta, BrokerShard};
 use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
+
+/// Nodes per shard in the parallel tick phases.
+///
+/// Shard geometry is a pure function of the population size — never of the
+/// thread count — so per-shard partial results and the shard-ordered
+/// reduction below are bit-identical whether a tick runs on one thread or
+/// many. Threads only decide *where* a shard executes.
+const SHARD_SIZE: usize = 64;
 
 /// Everything the experiments need from one simulation tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,6 +51,7 @@ pub struct SimBuilder {
     estimator: EstimatorKind,
     network: Option<AccessNetwork>,
     dt: f64,
+    threads: usize,
 }
 
 impl Default for SimBuilder {
@@ -50,6 +62,7 @@ impl Default for SimBuilder {
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             network: None,
             dt: 1.0,
+            threads: 1,
         }
     }
 }
@@ -99,6 +112,16 @@ impl SimBuilder {
         self
     }
 
+    /// Sets the worker-thread budget for the parallel tick phases
+    /// (default 1 = fully serial). Results are bit-identical for every
+    /// thread count: shards are fixed-size slices of the node population
+    /// and their partial results are reduced in shard order.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Assembles the simulation.
     ///
     /// # Errors
@@ -123,6 +146,8 @@ impl SimBuilder {
         }
         let mut broker_le = GridBroker::new(self.estimator)?;
         let mut broker_raw = GridBroker::new(EstimatorKind::WithoutLe)?;
+        broker_le.ensure_nodes(self.nodes.len());
+        broker_raw.ensure_nodes(self.nodes.len());
         for node in &self.nodes {
             if let Some(anchor) = node.home_anchor() {
                 broker_le.set_home_anchor(node.id(), anchor);
@@ -130,8 +155,10 @@ impl SimBuilder {
             }
         }
         let seqs = vec![0u32; self.nodes.len()];
+        let kinds: Vec<RegionKind> = self.nodes.iter().map(MobileNode::region_kind).collect();
         Ok(MobileGridSim {
             nodes: self.nodes,
+            kinds,
             policy,
             broker_le,
             broker_raw,
@@ -140,6 +167,7 @@ impl SimBuilder {
             tick: 0,
             seqs,
             cumulative: RegionTally::new(),
+            pool: ShardPool::new(self.threads),
         })
     }
 }
@@ -182,6 +210,9 @@ impl SimBuilder {
 /// ```
 pub struct MobileGridSim {
     nodes: Vec<MobileNode>,
+    /// Each node's (immutable) home-region kind, cached densely by node
+    /// index so the parallel phase can share it without touching the nodes.
+    kinds: Vec<RegionKind>,
     policy: Box<dyn FilterPolicy + Send>,
     broker_le: GridBroker,
     broker_raw: GridBroker,
@@ -190,6 +221,7 @@ pub struct MobileGridSim {
     tick: u64,
     seqs: Vec<u32>,
     cumulative: RegionTally,
+    pool: ShardPool,
 }
 
 impl std::fmt::Debug for MobileGridSim {
@@ -198,8 +230,38 @@ impl std::fmt::Debug for MobileGridSim {
             .field("nodes", &self.nodes.len())
             .field("policy", &self.policy.name())
             .field("tick", &self.tick)
+            .field("threads", &self.pool.threads())
             .finish()
     }
+}
+
+/// Everything one shard of the fused apply/measure phase needs: disjoint
+/// mutable slices of the per-node state plus read-only slices of this tick's
+/// inputs, all covering the same `[base, base + len)` node-index range.
+struct ShardJob<'a> {
+    kinds: &'a [RegionKind],
+    observations: &'a [(MnId, Point)],
+    decisions: &'a [Decision],
+    delivered: Option<&'a [bool]>,
+    seqs: &'a mut [u32],
+    le: BrokerShard<'a>,
+    raw: BrokerShard<'a>,
+}
+
+/// One shard's partial results. `sent` and the tally are exact (`u32`/`u64`)
+/// under any merge order; the RMSE partials are reduced in shard order so
+/// the floating-point sums are bit-identical across thread counts.
+struct ShardOut {
+    sent: u32,
+    tally: RegionTally,
+    all_le: Rmse,
+    all_raw: Rmse,
+    road_le: Rmse,
+    road_raw: Rmse,
+    bld_le: Rmse,
+    bld_raw: Rmse,
+    le_delta: BrokerDelta,
+    raw_delta: BrokerDelta,
 }
 
 impl MobileGridSim {
@@ -251,91 +313,118 @@ impl MobileGridSim {
         self.cumulative
     }
 
+    /// The worker-thread budget for the parallel tick phases.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
     /// Executes one tick and returns its statistics.
+    ///
+    /// The tick runs in four phases. Ground-truth advancement (1) and the
+    /// fused deliver/estimate/measure phase (3+4) run shard-parallel over
+    /// fixed `SHARD_SIZE`-node slices; filtering (2) and network routing
+    /// (2b) stay sequential — the ADF clusters across the whole population
+    /// and the access network is a single shared resource with ordered
+    /// accounting. Every per-shard partial is reduced in shard order, so
+    /// the returned [`TickStats`] stream is bit-identical for every thread
+    /// count.
     pub fn step(&mut self) -> TickStats {
         self.tick += 1;
         let time_s = self.tick as f64 * self.dt;
+        let dt = self.dt;
 
-        // 1. Advance ground truth.
-        let observations: Vec<(mobigrid_wireless::MnId, mobigrid_geo::Point)> = self
-            .nodes
-            .iter_mut()
-            .map(|n| {
-                let p = n.step(time_s, self.dt);
-                (n.id(), p)
-            })
-            .collect();
+        // 1. Advance ground truth — shard-parallel. Each node owns its RNG,
+        //    so per-node trajectories are independent of scheduling.
+        let node_shards: Vec<&mut [MobileNode]> = self.nodes.chunks_mut(SHARD_SIZE).collect();
+        let observed: Vec<Vec<(MnId, Point)>> = self.pool.run(node_shards, |_, shard| {
+            shard
+                .iter_mut()
+                .map(|n| {
+                    let p = n.step(time_s, dt);
+                    (n.id(), p)
+                })
+                .collect()
+        });
+        let observations: Vec<(MnId, Point)> = observed.into_iter().flatten().collect();
 
-        // 2. Filter.
+        // 2. Filter — sequential: the ADF clusters across all nodes.
         let decisions = self.policy.process_tick(time_s, &observations);
         debug_assert_eq!(decisions.len(), observations.len());
 
-        // 3. Deliver or estimate; tally per region kind.
+        // 2b. Route transmitted updates through the access network,
+        //     in node order. The update carries the node's *current*
+        //     sequence number; phase 3 rebuilds the identical update and
+        //     advances the counter.
+        let delivered: Option<Vec<bool>> = self.network.as_mut().map(|net| {
+            observations
+                .iter()
+                .zip(&decisions)
+                .map(|((id, pos), decision)| match decision {
+                    Decision::Sent => {
+                        let lu = LocationUpdate::new(*id, time_s, *pos, self.seqs[id.index()]);
+                        net.transmit(&lu).is_ok()
+                    }
+                    Decision::Filtered => false,
+                })
+                .collect()
+        });
+
+        // 3+4 fused, shard-parallel: apply each decision to both brokers
+        // and measure location error against ground truth — the paper's
+        // RMSE over all n nodes at time t — from the freshly updated dense
+        // slots.
+        let le_shards = self.broker_le.shard_views(SHARD_SIZE);
+        let raw_shards = self.broker_raw.shard_views(SHARD_SIZE);
+        let jobs: Vec<ShardJob<'_>> = self
+            .kinds
+            .chunks(SHARD_SIZE)
+            .zip(observations.chunks(SHARD_SIZE))
+            .zip(decisions.chunks(SHARD_SIZE))
+            .zip(self.seqs.chunks_mut(SHARD_SIZE))
+            .zip(le_shards)
+            .zip(raw_shards)
+            .enumerate()
+            .map(
+                |(i, (((((kinds, obs), dec), seqs), le), raw))| ShardJob {
+                    kinds,
+                    observations: obs,
+                    decisions: dec,
+                    delivered: delivered.as_deref().map(|d| {
+                        &d[i * SHARD_SIZE..(i * SHARD_SIZE + obs.len())]
+                    }),
+                    seqs,
+                    le,
+                    raw,
+                },
+            )
+            .collect();
+
+        let outs = self.pool.run(jobs, |_, job| Self::run_shard(time_s, job));
+
+        // Shard-ordered reduction: exact for the integer tallies, and a
+        // fixed floating-point summation order for the RMSE partials.
         let mut tick_tally = RegionTally::new();
         let mut sent = 0u32;
-        for ((node, (id, pos)), decision) in self.nodes.iter().zip(&observations).zip(&decisions) {
-            debug_assert_eq!(node.id(), *id);
-            match decision {
-                Decision::Sent => {
-                    let seq = &mut self.seqs[id.index()];
-                    let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
-                    *seq = seq.wrapping_add(1);
-                    let delivered = match &mut self.network {
-                        Some(net) => net.transmit(&lu).is_ok(),
-                        None => true,
-                    };
-                    if delivered {
-                        sent += 1;
-                        tick_tally.record(node.region_kind(), true);
-                        self.broker_le.receive(&lu);
-                        self.broker_raw.receive(&lu);
-                    } else {
-                        // Out of coverage: the broker sees nothing and must
-                        // estimate, same as a filtered update.
-                        tick_tally.record(node.region_kind(), false);
-                        self.broker_le.note_filtered(*id, time_s);
-                        self.broker_raw.note_filtered(*id, time_s);
-                    }
-                }
-                Decision::Filtered => {
-                    tick_tally.record(node.region_kind(), false);
-                    self.broker_le.note_filtered(*id, time_s);
-                    self.broker_raw.note_filtered(*id, time_s);
-                }
-            }
-        }
-        self.cumulative.merge(&tick_tally);
-
-        // 4. Measure location error against ground truth, per broker and
-        //    per region kind — the paper's RMSE over all n nodes at time t.
         let mut all_le = Rmse::new();
         let mut all_raw = Rmse::new();
         let mut road_le = Rmse::new();
         let mut road_raw = Rmse::new();
         let mut bld_le = Rmse::new();
         let mut bld_raw = Rmse::new();
-        for (node, (id, truth)) in self.nodes.iter().zip(&observations) {
-            let err_le = self
-                .broker_le
-                .location(*id)
-                .map_or(0.0, |r| r.position.distance_to(*truth));
-            let err_raw = self
-                .broker_raw
-                .location(*id)
-                .map_or(0.0, |r| r.position.distance_to(*truth));
-            all_le.push(err_le);
-            all_raw.push(err_raw);
-            match node.region_kind() {
-                RegionKind::Road => {
-                    road_le.push(err_le);
-                    road_raw.push(err_raw);
-                }
-                RegionKind::Building => {
-                    bld_le.push(err_le);
-                    bld_raw.push(err_raw);
-                }
-            }
+        for out in &outs {
+            sent += out.sent;
+            tick_tally.merge(&out.tally);
+            all_le.merge(&out.all_le);
+            all_raw.merge(&out.all_raw);
+            road_le.merge(&out.road_le);
+            road_raw.merge(&out.road_raw);
+            bld_le.merge(&out.bld_le);
+            bld_raw.merge(&out.bld_raw);
+            self.broker_le.apply_delta(&out.le_delta);
+            self.broker_raw.apply_delta(&out.raw_delta);
         }
+        self.cumulative.merge(&tick_tally);
 
         TickStats {
             time_s,
@@ -349,6 +438,75 @@ impl MobileGridSim {
             building_rmse_with_le: bld_le.value(),
             building_rmse_without_le: bld_raw.value(),
         }
+    }
+
+    /// Applies one shard's decisions to both broker shards and accumulates
+    /// the shard's tally and RMSE partials.
+    fn run_shard(time_s: f64, mut job: ShardJob<'_>) -> ShardOut {
+        let mut out = ShardOut {
+            sent: 0,
+            tally: RegionTally::new(),
+            all_le: Rmse::new(),
+            all_raw: Rmse::new(),
+            road_le: Rmse::new(),
+            road_raw: Rmse::new(),
+            bld_le: Rmse::new(),
+            bld_raw: Rmse::new(),
+            le_delta: BrokerDelta::default(),
+            raw_delta: BrokerDelta::default(),
+        };
+        for (i, (id, pos)) in job.observations.iter().enumerate() {
+            let kind = job.kinds[i];
+            match job.decisions[i] {
+                Decision::Sent => {
+                    let seq = &mut job.seqs[i];
+                    let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
+                    *seq = seq.wrapping_add(1);
+                    let delivered = job.delivered.is_none_or(|d| d[i]);
+                    if delivered {
+                        out.sent += 1;
+                        out.tally.record(kind, true);
+                        job.le.receive(&lu);
+                        job.raw.receive(&lu);
+                    } else {
+                        // Out of coverage: the broker sees nothing and must
+                        // estimate, same as a filtered update.
+                        out.tally.record(kind, false);
+                        job.le.note_filtered(*id, time_s);
+                        job.raw.note_filtered(*id, time_s);
+                    }
+                }
+                Decision::Filtered => {
+                    out.tally.record(kind, false);
+                    job.le.note_filtered(*id, time_s);
+                    job.raw.note_filtered(*id, time_s);
+                }
+            }
+            // Measure against ground truth via direct dense-slot reads.
+            let err_le = job
+                .le
+                .location(*id)
+                .map_or(0.0, |r| r.position.distance_to(*pos));
+            let err_raw = job
+                .raw
+                .location(*id)
+                .map_or(0.0, |r| r.position.distance_to(*pos));
+            out.all_le.push(err_le);
+            out.all_raw.push(err_raw);
+            match kind {
+                RegionKind::Road => {
+                    out.road_le.push(err_le);
+                    out.road_raw.push(err_raw);
+                }
+                RegionKind::Building => {
+                    out.bld_le.push(err_le);
+                    out.bld_raw.push(err_raw);
+                }
+            }
+        }
+        out.le_delta = job.le.into_delta();
+        out.raw_delta = job.raw.into_delta();
+        out
     }
 
     /// Runs `ticks` steps, collecting every tick's statistics.
@@ -505,5 +663,76 @@ mod tests {
         let meter = sim.network().unwrap().meter();
         assert_eq!(meter.messages(), 100);
         assert_eq!(meter.bytes(), 100 * LocationUpdate::WIRE_SIZE as u64);
+    }
+
+    /// Satellite regression for the RMSE phase's direct dense-slot reads:
+    /// a rand-free workload whose broker error is computable in closed
+    /// form, pinned tick by tick. One walker at 2 m/s and one parked node
+    /// under a general DF with factor 4: after the first tick the global
+    /// DTH settles at `4.0 * mean(2.0, 0.0) = 4.0 m`, permanently above
+    /// the walker's 2 m/tick displacement, so nothing transmits again and
+    /// the raw broker error grows by exactly 2 m per tick.
+    #[test]
+    fn rmse_phase_matches_closed_form_on_deterministic_workload() {
+        use crate::GeneralDistanceFilter;
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(GeneralDistanceFilter::new(4.0, 0))
+            .build()
+            .unwrap();
+
+        let first = sim.step();
+        assert_eq!(first.sent, 2, "first observations always transmit");
+        assert_eq!(first.rmse_without_le, 0.0);
+        assert_eq!(first.rmse_with_le, 0.0);
+
+        for tick in 2..=20u32 {
+            let s = sim.step();
+            assert_eq!(s.sent, 0, "tick {tick}: DTH must filter both nodes");
+            // Walker error: transmitted at x=2, now at x=2*tick; parked
+            // node error stays zero. Mirror the accumulator's operation
+            // order exactly (square, mean over 2 nodes, root).
+            let d = 2.0 * f64::from(tick - 1);
+            let expected = (d * d / 2.0).sqrt();
+            assert_eq!(
+                s.rmse_without_le, expected,
+                "tick {tick}: raw RMSE must read the last transmitted slot"
+            );
+            assert!(
+                s.rmse_with_le.is_finite() && s.rmse_with_le >= 0.0,
+                "tick {tick}: estimated RMSE must be a valid distance"
+            );
+        }
+    }
+
+    /// The sharded executor must be invisible in the results: a 150-node
+    /// population (three shards) produces bit-identical tick statistics on
+    /// one worker thread and on four.
+    #[test]
+    fn thread_count_does_not_change_tick_stats() {
+        let build = |threads: usize| {
+            let nodes: Vec<MobileNode> = (0..150u32)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        parked(i)
+                    } else {
+                        walker(i, 1.0 + f64::from(i % 7))
+                    }
+                })
+                .collect();
+            SimBuilder::new()
+                .nodes(nodes)
+                .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let mut serial = build(1);
+        let mut parallel = build(4);
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        let a = serial.run(100);
+        let b = parallel.run(100);
+        assert_eq!(a, b, "thread count leaked into the simulation results");
     }
 }

@@ -2,8 +2,9 @@
 
 use mobigrid_adf::{
     AdaptiveDistanceFilter, AdfConfig, DistanceFilter, FilterPolicy, FilterReference,
-    MobilityClassifier,
+    MobilityClassifier, RegionTally,
 };
+use mobigrid_campus::RegionKind;
 use mobigrid_geo::{Point, Vec2};
 use mobigrid_mobility::MobilityPattern;
 use mobigrid_wireless::MnId;
@@ -153,5 +154,69 @@ proptest! {
             sent
         };
         prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// `RegionTally::merge` is exact u64 addition, so merging per-shard
+    /// tallies in any grouping reproduces the sequential tally verbatim.
+    /// This is the algebra the sharded tick reduction relies on.
+    #[test]
+    fn region_tally_merge_matches_sequential_records(
+        records in prop::collection::vec((any::<bool>(), any::<bool>()), 0..120),
+        split in 0usize..120,
+    ) {
+        let kind_of = |road: bool| if road { RegionKind::Road } else { RegionKind::Building };
+        let mut whole = RegionTally::new();
+        for (road, sent) in &records {
+            whole.record(kind_of(*road), *sent);
+        }
+        let cut = split.min(records.len());
+        let mut left = RegionTally::new();
+        let mut right = RegionTally::new();
+        for (road, sent) in &records[..cut] {
+            left.record(kind_of(*road), *sent);
+        }
+        for (road, sent) in &records[cut..] {
+            right.record(kind_of(*road), *sent);
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Merging is associative and commutative bit-for-bit: the tally holds
+    /// only integer counters, so shard order cannot change the result.
+    #[test]
+    fn region_tally_merge_is_associative_and_commutative(
+        a in prop::collection::vec((any::<bool>(), any::<bool>()), 0..40),
+        b in prop::collection::vec((any::<bool>(), any::<bool>()), 0..40),
+        c in prop::collection::vec((any::<bool>(), any::<bool>()), 0..40),
+    ) {
+        let tally = |records: &[(bool, bool)]| {
+            let mut t = RegionTally::new();
+            for (road, sent) in records {
+                t.record(
+                    if *road { RegionKind::Road } else { RegionKind::Building },
+                    *sent,
+                );
+            }
+            t
+        };
+        let (ta, tb, tc) = (tally(&a), tally(&b), tally(&c));
+
+        let mut left = ta;
+        left.merge(&tb);
+        left.merge(&tc);
+
+        let mut right_inner = tb;
+        right_inner.merge(&tc);
+        let mut right = ta;
+        right.merge(&right_inner);
+        prop_assert_eq!(left, right);
+
+        let mut ab = ta;
+        ab.merge(&tb);
+        let mut ba = tb;
+        ba.merge(&ta);
+        prop_assert_eq!(ab, ba);
     }
 }

@@ -1,11 +1,11 @@
 //! Micro-benchmarks of the algorithmic kernels on the simulation's hot
 //! path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mobigrid_adf::{DistanceFilter, MobilityClassifier};
-use mobigrid_bench::build_adf_sim;
+use mobigrid_bench::{build_adf_sim, build_adf_sim_threaded, build_city_sim};
 use mobigrid_campus::Campus;
 use mobigrid_cluster::Bsas;
 use mobigrid_forecast::{BrownPositionEstimator, Forecaster, PositionEstimator};
@@ -145,6 +145,27 @@ fn bench_full_sim_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tick throughput across the population × thread-count matrix: the paper's
+/// 140-node campus and an 1140-node 8×8 grid city, each at 1–8 worker
+/// threads. Results are bit-identical across the thread axis; only
+/// wall-clock time changes. The single-thread rows are the baselines
+/// recorded in `BENCH_tick.json`.
+fn bench_tick_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick_throughput");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_function(BenchmarkId::new("campus_140_nodes", threads), |b| {
+            let mut sim = build_adf_sim_threaded(11, 1.0, threads);
+            b.iter(|| black_box(sim.step()));
+        });
+        g.bench_function(BenchmarkId::new("city_1140_nodes", threads), |b| {
+            let mut sim = build_city_sim(11, (8, 8), threads);
+            b.iter(|| black_box(sim.step()));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_bsas_clustering,
@@ -156,6 +177,7 @@ criterion_group!(
     bench_campus_routing,
     bench_event_queue,
     bench_hla_update_reflect,
-    bench_full_sim_tick
+    bench_full_sim_tick,
+    bench_tick_throughput
 );
 criterion_main!(micro);

@@ -33,11 +33,43 @@ pub fn bench_config(ticks: u64) -> ExperimentConfig {
 /// Panics if the static configuration is invalid (it is not).
 #[must_use]
 pub fn build_adf_sim(seed: u64, factor: f64) -> MobileGridSim {
+    build_adf_sim_threaded(seed, factor, 1)
+}
+
+/// Like [`build_adf_sim`] but with an explicit worker-thread budget for the
+/// parallel tick phases.
+///
+/// # Panics
+///
+/// Panics if the static configuration is invalid (it is not).
+#[must_use]
+pub fn build_adf_sim_threaded(seed: u64, factor: f64, threads: usize) -> MobileGridSim {
     let campus = Campus::inha_like();
     let nodes = workload::generate_population(&campus, seed);
     SimBuilder::new()
         .nodes(nodes)
         .policy(AdaptiveDistanceFilter::new(AdfConfig::new(factor)).expect("valid config"))
+        .threads(threads)
+        .build()
+        .expect("valid simulation")
+}
+
+/// Builds an ADF simulation over a [`Campus::grid_city`] of `blocks` with
+/// the Table-1 per-region densities — the scalability workload the
+/// `tick_throughput` bench scales across thread counts. An 8×8 city holds
+/// 1140 nodes.
+///
+/// # Panics
+///
+/// Panics if the static configuration is invalid (it is not).
+#[must_use]
+pub fn build_city_sim(seed: u64, blocks: (usize, usize), threads: usize) -> MobileGridSim {
+    let city = Campus::grid_city(blocks.0, blocks.1);
+    let nodes = workload::populate(&city, seed);
+    SimBuilder::new()
+        .nodes(nodes)
+        .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid config"))
+        .threads(threads)
         .build()
         .expect("valid simulation")
 }
@@ -52,5 +84,13 @@ mod tests {
         let mut sim = build_adf_sim(1, 1.0);
         let s = sim.step();
         assert_eq!(s.observed, 140);
+    }
+
+    #[test]
+    fn city_helper_reaches_bench_scale() {
+        let mut sim = build_city_sim(1, (8, 8), 2);
+        let s = sim.step();
+        assert!(s.observed >= 1000, "observed {}", s.observed);
+        assert_eq!(sim.threads(), 2);
     }
 }

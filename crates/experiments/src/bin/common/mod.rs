@@ -1,7 +1,9 @@
 //! Shared CLI handling for the experiment binaries.
 //!
-//! Usage: `<bin> [--ticks N] [--seed S] [--csv]` — defaults to the paper's
-//! 1800 s run with seed 42 and human-readable text output.
+//! Usage: `<bin> [--ticks N] [--seed S] [--threads T] [--csv]` — defaults
+//! to the paper's 1800 s run with seed 42, a single worker thread and
+//! human-readable text output. `--threads` only changes wall-clock time:
+//! simulation results are bit-identical for every thread count.
 
 use mobigrid_experiments::config::ExperimentConfig;
 
@@ -16,7 +18,8 @@ pub struct Cli {
     pub csv: bool,
 }
 
-/// Parses `--ticks`, `--seed` and `--csv` from the process arguments.
+/// Parses `--ticks`, `--seed`, `--threads` and `--csv` from the process
+/// arguments.
 ///
 /// # Panics
 ///
@@ -35,8 +38,11 @@ pub fn parse_cli() -> Cli {
         match flag.as_str() {
             "--ticks" => config.duration_ticks = take("--ticks"),
             "--seed" => config.seed = take("--seed"),
+            "--threads" => config.threads = take("--threads").max(1) as usize,
             "--csv" => csv = true,
-            other => panic!("unknown flag {other}; usage: [--ticks N] [--seed S] [--csv]"),
+            other => {
+                panic!("unknown flag {other}; usage: [--ticks N] [--seed S] [--threads T] [--csv]")
+            }
         }
     }
     Cli { config, csv }

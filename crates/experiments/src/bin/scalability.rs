@@ -11,5 +11,8 @@ fn main() {
         cfg.duration_ticks = 300;
     }
     let sizes = [(1, 1), (2, 2), (3, 3), (5, 5)];
+    if cfg.threads > 1 {
+        println!("running with {} worker threads", cfg.threads);
+    }
     println!("{}", scalability::sweep_city_sizes(&cfg, &sizes));
 }

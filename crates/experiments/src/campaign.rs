@@ -79,7 +79,10 @@ impl RunResult {
 
 fn build_sim(cfg: &ExperimentConfig, campus: &Campus, spec: PolicySpec) -> MobileGridSim {
     let nodes = workload::generate_population(campus, cfg.seed);
-    let builder = SimBuilder::new().nodes(nodes).estimator(cfg.estimator);
+    let builder = SimBuilder::new()
+        .nodes(nodes)
+        .estimator(cfg.estimator)
+        .threads(cfg.threads);
     let builder = if cfg.with_network {
         builder.network(workload::default_network(campus))
     } else {

@@ -19,6 +19,10 @@ pub struct ExperimentConfig {
     pub estimator: EstimatorKind,
     /// Attach the wireless access network for traffic accounting.
     pub with_network: bool,
+    /// Worker threads for the parallel tick phases (default 1 = serial).
+    /// Results are bit-identical for every value — see
+    /// [`mobigrid_adf::SimBuilder::threads`].
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -30,6 +34,7 @@ impl Default for ExperimentConfig {
             adf: AdfConfig::new(1.0),
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             with_network: true,
+            threads: 1,
         }
     }
 }

@@ -189,6 +189,7 @@ pub fn outage_resilience(cfg: &ExperimentConfig) -> OutageReport {
             .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid"))
             .estimator(cfg.estimator)
             .network(network)
+            .threads(cfg.threads)
             .build()
             .expect("valid simulation");
         let stats = sim.run(cfg.duration_ticks);

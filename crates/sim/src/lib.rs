@@ -12,6 +12,9 @@
 //! * [`TickDriver`] — the fixed-step (1 s tick) driver the campus
 //!   experiments use,
 //! * [`SeedStream`] — reproducible per-entity random seeds,
+//! * [`par::ShardPool`] — deterministic sharded parallel execution with
+//!   shard-ordered reduction (results are bit-identical across thread
+//!   counts),
 //! * [`stats`] — streaming statistics (Welford mean/variance, RMSE
 //!   accumulators, time series) shared by the experiment harness.
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod par;
 mod queue;
 mod rng;
 pub mod stats;

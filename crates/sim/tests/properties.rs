@@ -90,4 +90,60 @@ proptest! {
         }
         prop_assert!((scaled.value() - base.value() * k).abs() < 1e-6 * scaled.value().max(1.0));
     }
+
+    /// Splitting a stream of errors into two partial accumulators and
+    /// merging them preserves the observation count exactly and the RMSE
+    /// up to float re-association.
+    #[test]
+    fn rmse_partial_merge_matches_sequential_push(
+        xs in prop::collection::vec(0.0..1e3f64, 0..120),
+        split in 0usize..120,
+    ) {
+        let mut whole = Rmse::new();
+        for x in &xs {
+            whole.push(*x);
+        }
+        let cut = split.min(xs.len());
+        let mut left = Rmse::new();
+        let mut right = Rmse::new();
+        for x in &xs[..cut] {
+            left.push(*x);
+        }
+        for x in &xs[cut..] {
+            right.push(*x);
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.value() - whole.value()).abs() < 1e-9 * whole.value().max(1.0));
+    }
+
+    /// A left-to-right fold of per-shard partials is bit-reproducible:
+    /// running the same shard-ordered reduction twice gives identical
+    /// floats. This is the exact contract the parallel tick engine uses
+    /// to stay deterministic across thread counts.
+    #[test]
+    fn rmse_shard_ordered_fold_is_bit_reproducible(
+        xs in prop::collection::vec(0.0..1e3f64, 1..200),
+        shard in 1usize..64,
+    ) {
+        let fold = || {
+            let mut total = Rmse::new();
+            for chunk in xs.chunks(shard) {
+                let mut part = Rmse::new();
+                for x in chunk {
+                    part.push(*x);
+                }
+                total.merge(&part);
+            }
+            total
+        };
+        let (a, b) = (fold(), fold());
+        prop_assert_eq!(a.count(), b.count());
+        // Bit-identical, not merely close.
+        prop_assert_eq!(a.value().to_bits(), b.value().to_bits());
+
+        // Merging counts is exact u64 addition regardless of shard size.
+        prop_assert_eq!(a.count(), xs.len() as u64);
+    }
 }

@@ -6,6 +6,83 @@ use crate::{
     Gateway, GatewayId, LocationUpdate, MnId, OutageSchedule, TrafficMeter, WirelessError,
 };
 
+/// A uniform-grid spatial index over gateway coverage discs.
+///
+/// The cell size is the largest coverage radius, so any point's covering
+/// gateways all sit in the candidate list of the point's own cell: a
+/// gateway covering `p` is within `range ≤ cell` of it, and each gateway is
+/// inserted into every cell its coverage disc's bounding box overlaps.
+/// Lookups therefore scan one cell's candidates instead of every gateway.
+///
+/// Per-cell candidate lists are stored in ascending gateway-id order
+/// (insertion follows the dense id order), which keeps the nearest-gateway
+/// tie-breaking identical to a linear scan over `gateways`. Outages are
+/// filtered at query time, so the index never goes stale when the
+/// [`OutageSchedule`] changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct GatewayGrid {
+    /// Cell edge length in metres (0 when there are no gateways).
+    cell_m: f64,
+    /// World coordinates of cell (0, 0)'s minimum corner.
+    origin: Point,
+    /// Candidate gateway indices per occupied cell.
+    cells: BTreeMap<(i64, i64), Vec<u32>>,
+}
+
+impl GatewayGrid {
+    fn build(gateways: &[Gateway]) -> Self {
+        let Some(cell_m) = gateways
+            .iter()
+            .map(Gateway::range)
+            .max_by(|a, b| a.partial_cmp(b).expect("finite ranges"))
+        else {
+            return GatewayGrid::default();
+        };
+        let origin = Point::new(
+            gateways
+                .iter()
+                .map(|g| g.site().x - g.range())
+                .fold(f64::INFINITY, f64::min),
+            gateways
+                .iter()
+                .map(|g| g.site().y - g.range())
+                .fold(f64::INFINITY, f64::min),
+        );
+        let mut cells: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
+        for (i, gw) in gateways.iter().enumerate() {
+            let (lo_x, lo_y) = Self::cell_of(origin, cell_m, gw.site().x - gw.range(), gw.site().y - gw.range());
+            let (hi_x, hi_y) = Self::cell_of(origin, cell_m, gw.site().x + gw.range(), gw.site().y + gw.range());
+            for cx in lo_x..=hi_x {
+                for cy in lo_y..=hi_y {
+                    cells.entry((cx, cy)).or_default().push(i as u32);
+                }
+            }
+        }
+        GatewayGrid {
+            cell_m,
+            origin,
+            cells,
+        }
+    }
+
+    fn cell_of(origin: Point, cell_m: f64, x: f64, y: f64) -> (i64, i64) {
+        (
+            ((x - origin.x) / cell_m).floor() as i64,
+            ((y - origin.y) / cell_m).floor() as i64,
+        )
+    }
+
+    /// The candidate gateway indices for `p`'s cell. Every gateway covering
+    /// `p` is in this list; the caller still filters by actual coverage.
+    fn candidates(&self, p: Point) -> &[u32] {
+        if self.cell_m <= 0.0 {
+            return &[];
+        }
+        let cell = Self::cell_of(self.origin, self.cell_m, p.x, p.y);
+        self.cells.get(&cell).map_or(&[], Vec::as_slice)
+    }
+}
+
 /// The campus access network: a set of gateways with association, handoff
 /// tracking and per-gateway traffic accounting.
 ///
@@ -32,6 +109,7 @@ use crate::{
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AccessNetwork {
     gateways: Vec<Gateway>,
+    grid: GatewayGrid,
     meter: TrafficMeter,
     per_gateway: Vec<TrafficMeter>,
     associations: BTreeMap<MnId, GatewayId>,
@@ -53,8 +131,10 @@ impl AccessNetwork {
             assert_eq!(gw.id().index(), i, "gateway ids must be dense 0..n");
         }
         let per_gateway = vec![TrafficMeter::new(); gateways.len()];
+        let grid = GatewayGrid::build(&gateways);
         AccessNetwork {
             gateways,
+            grid,
             meter: TrafficMeter::new(),
             per_gateway,
             associations: BTreeMap::new(),
@@ -88,20 +168,37 @@ impl AccessNetwork {
     /// The gateway a node at `p` would associate with: nearest covering
     /// site, ties broken by lowest id. Ignores outages (see
     /// [`AccessNetwork::best_gateway_at`]).
+    ///
+    /// Lookup goes through the uniform-grid spatial index: only the
+    /// gateways whose coverage disc can reach `p`'s grid cell are examined,
+    /// not the whole gateway list. Candidates are visited in ascending id
+    /// order, so the result — including distance ties — is identical to a
+    /// linear scan.
     #[must_use]
     pub fn best_gateway(&self, p: Point) -> Option<&Gateway> {
-        self.gateways.iter().filter(|g| g.covers(p)).min_by(|a, b| {
-            a.distance_to(p)
-                .partial_cmp(&b.distance_to(p))
-                .expect("finite distances")
-        })
+        self.grid
+            .candidates(p)
+            .iter()
+            .map(|i| &self.gateways[*i as usize])
+            .filter(|g| g.covers(p))
+            .min_by(|a, b| {
+                a.distance_to(p)
+                    .partial_cmp(&b.distance_to(p))
+                    .expect("finite distances")
+            })
     }
 
     /// The nearest covering gateway that is *up* at `time_s`.
+    ///
+    /// Uses the same indexed lookup as [`AccessNetwork::best_gateway`];
+    /// outages are filtered per query, so the index stays valid when the
+    /// [`OutageSchedule`] changes.
     #[must_use]
     pub fn best_gateway_at(&self, p: Point, time_s: f64) -> Option<&Gateway> {
-        self.gateways
+        self.grid
+            .candidates(p)
             .iter()
+            .map(|i| &self.gateways[*i as usize])
             .filter(|g| g.covers(p) && !self.outages.is_down(g.id(), time_s))
             .min_by(|a, b| {
                 a.distance_to(p)
@@ -175,7 +272,9 @@ impl AccessNetwork {
         self.dropped
     }
 
-    /// Resets meters, associations and counters; gateways stay.
+    /// Resets meters, associations and counters; gateways stay, and with
+    /// them the spatial index — it derives only from the gateway set, so a
+    /// reset (or an outage-schedule change) never invalidates it.
     pub fn reset(&mut self) {
         self.meter.reset();
         for m in &mut self.per_gateway {
@@ -291,6 +390,106 @@ mod tests {
         assert!(net.best_gateway_at(Point::new(10.0, 0.0), 50.0).is_none());
         // Time-unaware lookup still sees it.
         assert!(net.best_gateway(Point::new(10.0, 0.0)).is_some());
+    }
+
+    /// Reference implementation: the pre-index linear scan.
+    fn linear_best_at(net: &AccessNetwork, p: Point, time_s: Option<f64>) -> Option<GatewayId> {
+        net.gateways()
+            .iter()
+            .filter(|g| {
+                g.covers(p) && time_s.is_none_or(|t| !net.outages().is_down(g.id(), t))
+            })
+            .min_by(|a, b| {
+                a.distance_to(p)
+                    .partial_cmp(&b.distance_to(p))
+                    .expect("finite distances")
+            })
+            .map(Gateway::id)
+    }
+
+    #[test]
+    fn down_gateway_excluded_by_index_exactly_as_by_linear_scan() {
+        let mut sched = OutageSchedule::new();
+        sched.add_window(GatewayId::new(0), 0.0, 100.0);
+        let net = two_cell_network().with_outages(sched);
+        for x in [-50.0, 0.0, 10.0, 99.0, 150.0, 250.0, 290.0, 410.0] {
+            let p = Point::new(x, 0.0);
+            for t in [0.0, 50.0, 100.0, 200.0] {
+                assert_eq!(
+                    net.best_gateway_at(p, t).map(Gateway::id),
+                    linear_best_at(&net, p, Some(t)),
+                    "x={x} t={t}"
+                );
+            }
+            assert_eq!(
+                net.best_gateway(p).map(Gateway::id),
+                linear_best_at(&net, p, None),
+                "x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_scan_on_dense_deployment() {
+        // 25 overlapping gateways with mixed ranges plus outage windows:
+        // the indexed lookup must agree with the linear scan everywhere,
+        // including coverage holes and points outside the deployment.
+        let gws: Vec<Gateway> = (0..25u32)
+            .map(|i| {
+                let kind = if i % 3 == 0 {
+                    GatewayKind::BaseStation
+                } else {
+                    GatewayKind::AccessPoint
+                };
+                let site = Point::new(f64::from(i % 5) * 80.0, f64::from(i / 5) * 80.0);
+                let range = if i % 2 == 0 { 110.0 } else { 45.0 };
+                Gateway::new(i, kind, site, range)
+            })
+            .collect();
+        let mut sched = OutageSchedule::new();
+        sched.add_window(GatewayId::new(3), 0.0, 50.0);
+        sched.add_window(GatewayId::new(12), 20.0, 80.0);
+        sched.add_window(GatewayId::new(24), 0.0, 1000.0);
+        let net = AccessNetwork::new(gws).with_outages(sched);
+
+        let mut px = -60.0;
+        while px < 420.0 {
+            let mut py = -60.0;
+            while py < 420.0 {
+                let p = Point::new(px, py);
+                assert_eq!(
+                    net.best_gateway(p).map(Gateway::id),
+                    linear_best_at(&net, p, None),
+                    "p=({px}, {py})"
+                );
+                for t in [0.0, 25.0, 60.0, 2000.0] {
+                    assert_eq!(
+                        net.best_gateway_at(p, t).map(Gateway::id),
+                        linear_best_at(&net, p, Some(t)),
+                        "p=({px}, {py}) t={t}"
+                    );
+                }
+                py += 13.0;
+            }
+            px += 13.0;
+        }
+    }
+
+    #[test]
+    fn reset_keeps_spatial_index_consistent() {
+        let fresh = two_cell_network();
+        let mut net = two_cell_network();
+        net.transmit(&lu(1, 0.0, 10.0)).unwrap();
+        net.reset();
+        // Post-reset lookups behave exactly like a freshly built network.
+        for x in [0.0, 10.0, 150.0, 290.0, 500.0] {
+            let p = Point::new(x, 0.0);
+            assert_eq!(
+                net.best_gateway(p).map(Gateway::id),
+                fresh.best_gateway(p).map(Gateway::id)
+            );
+        }
+        assert_eq!(net, fresh);
     }
 
     #[test]

@@ -103,6 +103,6 @@ proptest! {
                 ok += 1;
             }
         }
-        prop_assert!(net.handoffs() <= ok.saturating_sub(1).max(0));
+        prop_assert!(net.handoffs() <= ok.saturating_sub(1));
     }
 }
