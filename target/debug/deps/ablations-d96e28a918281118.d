@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d96e28a918281118.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-d96e28a918281118.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all_experiments-1dd9cfa9a43e5f62.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/all_experiments-1dd9cfa9a43e5f62: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:

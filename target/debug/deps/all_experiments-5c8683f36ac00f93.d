@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all_experiments-5c8683f36ac00f93.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/liball_experiments-5c8683f36ac00f93.rmeta: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all_experiments-6c5c038f41efa0d9.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/liball_experiments-6c5c038f41efa0d9.rmeta: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:

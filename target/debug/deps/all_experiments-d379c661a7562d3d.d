@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all_experiments-d379c661a7562d3d.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/all_experiments-d379c661a7562d3d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/all_experiments-e805064ffd8599d6.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/liball_experiments-e805064ffd8599d6.rmeta: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/all_experiments-f72475943cbeb608.d: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-f72475943cbeb608.rmeta: crates/experiments/src/bin/all_experiments.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/all_experiments.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

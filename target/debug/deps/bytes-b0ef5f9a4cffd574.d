@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b0ef5f9a4cffd574.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b0ef5f9a4cffd574.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b0ef5f9a4cffd574.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d2c348fef514997d.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d2c348fef514997d.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

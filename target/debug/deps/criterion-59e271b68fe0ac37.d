@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-59e271b68fe0ac37.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-25b738372e06c292.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-25b738372e06c292.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-96b2f1929cea831e.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-96b2f1929cea831e.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-96b2f1929cea831e.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddm-2afc6fe2441536d3.d: crates/hla/tests/ddm.rs
+
+/root/repo/target/debug/deps/ddm-2afc6fe2441536d3: crates/hla/tests/ddm.rs
+
+crates/hla/tests/ddm.rs:

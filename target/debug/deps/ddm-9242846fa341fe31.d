@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ddm-9242846fa341fe31.d: crates/hla/tests/ddm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libddm-9242846fa341fe31.rmeta: crates/hla/tests/ddm.rs Cargo.toml
+
+crates/hla/tests/ddm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ddm-b10cfaf9786ccb38.d: crates/hla/tests/ddm.rs
+
+/root/repo/target/debug/deps/libddm-b10cfaf9786ccb38.rmeta: crates/hla/tests/ddm.rs
+
+crates/hla/tests/ddm.rs:

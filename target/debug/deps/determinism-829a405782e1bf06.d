@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-829a405782e1bf06.d: crates/experiments/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-829a405782e1bf06: crates/experiments/tests/determinism.rs
+
+crates/experiments/tests/determinism.rs:

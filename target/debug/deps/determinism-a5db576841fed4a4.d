@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-a5db576841fed4a4.d: crates/experiments/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-a5db576841fed4a4.rmeta: crates/experiments/tests/determinism.rs Cargo.toml
+
+crates/experiments/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

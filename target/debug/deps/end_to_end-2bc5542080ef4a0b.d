@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2bc5542080ef4a0b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2bc5542080ef4a0b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

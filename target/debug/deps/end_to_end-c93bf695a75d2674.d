@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c93bf695a75d2674.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-c93bf695a75d2674.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

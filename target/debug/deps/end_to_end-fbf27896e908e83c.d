@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fbf27896e908e83c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fbf27896e908e83c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extensions-2d64067b8142a745.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-2d64067b8142a745.rmeta: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extensions-60d1111e72bfe5c2.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libextensions-60d1111e72bfe5c2.rmeta: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:

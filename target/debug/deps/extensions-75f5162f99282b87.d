@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extensions-75f5162f99282b87.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/extensions-75f5162f99282b87: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:

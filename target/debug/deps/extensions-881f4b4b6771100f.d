@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extensions-881f4b4b6771100f.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libextensions-881f4b4b6771100f.rmeta: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:

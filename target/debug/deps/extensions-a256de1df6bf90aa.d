@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extensions-a256de1df6bf90aa.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-a256de1df6bf90aa.rmeta: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extensions-ee8b471db5b2abfb.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/extensions-ee8b471db5b2abfb: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/extensions-f3495d44142f9567.d: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libextensions-f3495d44142f9567.rmeta: crates/experiments/src/bin/extensions.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/extensions.rs:
+crates/experiments/src/bin/common/mod.rs:

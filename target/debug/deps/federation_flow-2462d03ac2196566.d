@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_flow-2462d03ac2196566.d: crates/hla/tests/federation_flow.rs
+
+/root/repo/target/debug/deps/libfederation_flow-2462d03ac2196566.rmeta: crates/hla/tests/federation_flow.rs
+
+crates/hla/tests/federation_flow.rs:

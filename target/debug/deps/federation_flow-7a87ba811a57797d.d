@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation_flow-7a87ba811a57797d.d: crates/hla/tests/federation_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation_flow-7a87ba811a57797d.rmeta: crates/hla/tests/federation_flow.rs Cargo.toml
+
+crates/hla/tests/federation_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federation_flow-d0ec6530d2397179.d: crates/hla/tests/federation_flow.rs
+
+/root/repo/target/debug/deps/federation_flow-d0ec6530d2397179: crates/hla/tests/federation_flow.rs
+
+crates/hla/tests/federation_flow.rs:

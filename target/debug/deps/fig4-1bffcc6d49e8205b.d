@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-1bffcc6d49e8205b.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-1bffcc6d49e8205b.rmeta: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-2a62d8a45f23c2bd.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig4-2a62d8a45f23c2bd.rmeta: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

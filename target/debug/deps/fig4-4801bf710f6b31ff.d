@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-4801bf710f6b31ff.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig4-4801bf710f6b31ff.rmeta: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-77088c68bf05a045.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig4-77088c68bf05a045: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

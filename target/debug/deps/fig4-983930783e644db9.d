@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-983930783e644db9.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig4-983930783e644db9.rmeta: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-99feb6327d14d654.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig4-99feb6327d14d654: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig4-e49134983f5f3fea.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-e49134983f5f3fea.rmeta: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig4-e75dfa8c19da93de.d: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig4-e75dfa8c19da93de: crates/experiments/src/bin/fig4.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig4.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5-1da8898d417bb781.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-1da8898d417bb781.rmeta: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig5-254c3bb1eeeb8073.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig5-254c3bb1eeeb8073.rmeta: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:

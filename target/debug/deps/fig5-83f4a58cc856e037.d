@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig5-83f4a58cc856e037.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig5-83f4a58cc856e037: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig5-84ff0ec794ee3f67.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig5-84ff0ec794ee3f67.rmeta: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:

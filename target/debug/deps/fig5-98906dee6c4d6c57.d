@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig5-98906dee6c4d6c57.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig5-98906dee6c4d6c57: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:

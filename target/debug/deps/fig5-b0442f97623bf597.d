@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig5-b0442f97623bf597.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig5-b0442f97623bf597.rmeta: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:

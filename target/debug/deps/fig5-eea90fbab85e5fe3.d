@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5-eea90fbab85e5fe3.d: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-eea90fbab85e5fe3.rmeta: crates/experiments/src/bin/fig5.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig5.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

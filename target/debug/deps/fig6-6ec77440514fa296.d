@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig6-6ec77440514fa296.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig6-6ec77440514fa296: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:

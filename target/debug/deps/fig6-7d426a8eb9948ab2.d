@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig6-7d426a8eb9948ab2.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig6-7d426a8eb9948ab2.rmeta: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig6-8531f3e88b22870b.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig6-8531f3e88b22870b.rmeta: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:

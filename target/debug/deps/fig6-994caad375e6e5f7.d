@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig6-994caad375e6e5f7.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig6-994caad375e6e5f7: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig6-a999144287f66eda.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig6-a999144287f66eda.rmeta: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-fe23139ba9515d7e.d: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-fe23139ba9515d7e.rmeta: crates/experiments/src/bin/fig6.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig6.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-07f4f043dce91375.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig7-07f4f043dce91375: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

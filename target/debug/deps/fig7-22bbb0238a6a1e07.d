@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-22bbb0238a6a1e07.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig7-22bbb0238a6a1e07.rmeta: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-66c3f8c152d0918c.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-66c3f8c152d0918c.rmeta: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

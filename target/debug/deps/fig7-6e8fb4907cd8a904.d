@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-6e8fb4907cd8a904.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig7-6e8fb4907cd8a904.rmeta: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

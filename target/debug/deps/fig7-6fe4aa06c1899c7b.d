@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-6fe4aa06c1899c7b.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig7-6fe4aa06c1899c7b: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

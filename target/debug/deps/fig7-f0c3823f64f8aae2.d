@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-f0c3823f64f8aae2.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig7-f0c3823f64f8aae2: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

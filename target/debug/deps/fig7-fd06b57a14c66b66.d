@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig7-fd06b57a14c66b66.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig7-fd06b57a14c66b66.rmeta: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

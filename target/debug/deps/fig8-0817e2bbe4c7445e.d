@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig8-0817e2bbe4c7445e.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig8-0817e2bbe4c7445e: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig8-2dc733b2d21b92c8.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig8-2dc733b2d21b92c8: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:

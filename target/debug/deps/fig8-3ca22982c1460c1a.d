@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig8-3ca22982c1460c1a.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig8-3ca22982c1460c1a: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:

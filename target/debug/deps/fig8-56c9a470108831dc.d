@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8-56c9a470108831dc.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-56c9a470108831dc.rmeta: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8-601d2a37603111cb.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-601d2a37603111cb.rmeta: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig8-98d2fa09d586ff74.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig8-98d2fa09d586ff74.rmeta: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:

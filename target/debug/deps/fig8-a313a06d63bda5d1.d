@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig8-a313a06d63bda5d1.d: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig8-a313a06d63bda5d1.rmeta: crates/experiments/src/bin/fig8.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig8.rs:
+crates/experiments/src/bin/common/mod.rs:

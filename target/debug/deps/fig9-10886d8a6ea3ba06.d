@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig9-10886d8a6ea3ba06.d: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig9-10886d8a6ea3ba06: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig9.rs:
+crates/experiments/src/bin/common/mod.rs:

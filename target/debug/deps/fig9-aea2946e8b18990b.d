@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig9-aea2946e8b18990b.d: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig9-aea2946e8b18990b: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig9.rs:
+crates/experiments/src/bin/common/mod.rs:

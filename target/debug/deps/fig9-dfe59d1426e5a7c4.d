@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig9-dfe59d1426e5a7c4.d: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/fig9-dfe59d1426e5a7c4: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig9.rs:
+crates/experiments/src/bin/common/mod.rs:

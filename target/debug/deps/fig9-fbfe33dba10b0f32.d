@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fig9-fbfe33dba10b0f32.d: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libfig9-fbfe33dba10b0f32.rmeta: crates/experiments/src/bin/fig9.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig9.rs:
+crates/experiments/src/bin/common/mod.rs:

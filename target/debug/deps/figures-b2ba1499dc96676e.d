@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b2ba1499dc96676e.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-b2ba1499dc96676e.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

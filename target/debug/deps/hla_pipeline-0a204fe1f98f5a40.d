@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hla_pipeline-0a204fe1f98f5a40.d: tests/hla_pipeline.rs
+
+/root/repo/target/debug/deps/hla_pipeline-0a204fe1f98f5a40: tests/hla_pipeline.rs
+
+tests/hla_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hla_pipeline-788b10902b34b318.d: tests/hla_pipeline.rs
+
+/root/repo/target/debug/deps/hla_pipeline-788b10902b34b318: tests/hla_pipeline.rs
+
+tests/hla_pipeline.rs:

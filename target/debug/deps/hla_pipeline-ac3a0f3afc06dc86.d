@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hla_pipeline-ac3a0f3afc06dc86.d: tests/hla_pipeline.rs
+
+/root/repo/target/debug/deps/libhla_pipeline-ac3a0f3afc06dc86.rmeta: tests/hla_pipeline.rs
+
+tests/hla_pipeline.rs:

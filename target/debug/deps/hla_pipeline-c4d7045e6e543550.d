@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hla_pipeline-c4d7045e6e543550.d: tests/hla_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhla_pipeline-c4d7045e6e543550.rmeta: tests/hla_pipeline.rs Cargo.toml
+
+tests/hla_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

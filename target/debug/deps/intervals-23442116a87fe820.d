@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-23442116a87fe820.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/intervals-23442116a87fe820: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

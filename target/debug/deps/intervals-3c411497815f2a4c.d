@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-3c411497815f2a4c.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libintervals-3c411497815f2a4c.rmeta: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-50b1a793d54dacfb.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/intervals-50b1a793d54dacfb: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-6af962dce4a2d560.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/intervals-6af962dce4a2d560: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

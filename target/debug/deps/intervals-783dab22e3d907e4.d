@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/intervals-783dab22e3d907e4.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintervals-783dab22e3d907e4.rmeta: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

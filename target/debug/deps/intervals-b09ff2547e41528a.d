@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/intervals-b09ff2547e41528a.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintervals-b09ff2547e41528a.rmeta: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-e027d1c31b0ff412.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libintervals-e027d1c31b0ff412.rmeta: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

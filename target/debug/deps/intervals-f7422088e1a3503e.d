@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intervals-f7422088e1a3503e.d: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libintervals-f7422088e1a3503e.rmeta: crates/experiments/src/bin/intervals.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/intervals.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-3dd655dc661c5b7f.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-3dd655dc661c5b7f.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

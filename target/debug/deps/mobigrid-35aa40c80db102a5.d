@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid-35aa40c80db102a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobigrid-35aa40c80db102a5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid-3dd1707aa87f918c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-3dd1707aa87f918c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid-66a19bf3a12d9a8f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-66a19bf3a12d9a8f.rmeta: src/lib.rs
+
+src/lib.rs:

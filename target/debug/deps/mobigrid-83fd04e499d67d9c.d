@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobigrid-83fd04e499d67d9c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-83fd04e499d67d9c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-83fd04e499d67d9c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid-8a56fd35beceb6dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-8a56fd35beceb6dd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobigrid-91ac3a20a76a900c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-91ac3a20a76a900c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid-91ac3a20a76a900c.rmeta: src/lib.rs
+
+src/lib.rs:

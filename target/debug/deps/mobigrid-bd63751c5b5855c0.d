@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid-bd63751c5b5855c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/mobigrid-bd63751c5b5855c0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mobigrid_adf-410610dfb5d2d4b6.d: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_adf-410610dfb5d2d4b6.rmeta: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs Cargo.toml
+
+crates/adf/src/lib.rs:
+crates/adf/src/broker.rs:
+crates/adf/src/classifier.rs:
+crates/adf/src/config.rs:
+crates/adf/src/filter.rs:
+crates/adf/src/node.rs:
+crates/adf/src/pipeline.rs:
+crates/adf/src/policy.rs:
+crates/adf/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigrid_adf-63bb2410741633e2.d: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+/root/repo/target/debug/deps/libmobigrid_adf-63bb2410741633e2.rmeta: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+crates/adf/src/lib.rs:
+crates/adf/src/broker.rs:
+crates/adf/src/classifier.rs:
+crates/adf/src/config.rs:
+crates/adf/src/filter.rs:
+crates/adf/src/node.rs:
+crates/adf/src/pipeline.rs:
+crates/adf/src/policy.rs:
+crates/adf/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigrid_adf-e1e2cac424172ec5.d: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+/root/repo/target/debug/deps/mobigrid_adf-e1e2cac424172ec5: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+crates/adf/src/lib.rs:
+crates/adf/src/broker.rs:
+crates/adf/src/classifier.rs:
+crates/adf/src/config.rs:
+crates/adf/src/filter.rs:
+crates/adf/src/node.rs:
+crates/adf/src/pipeline.rs:
+crates/adf/src/policy.rs:
+crates/adf/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid_bench-12c099ba5b8f7300.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mobigrid_bench-12c099ba5b8f7300: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid_bench-29069ef29a4dee92.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-29069ef29a4dee92.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

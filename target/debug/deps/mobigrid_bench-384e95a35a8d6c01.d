@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobigrid_bench-384e95a35a8d6c01.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-384e95a35a8d6c01.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-384e95a35a8d6c01.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid_bench-6d347aa060527cb1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-6d347aa060527cb1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

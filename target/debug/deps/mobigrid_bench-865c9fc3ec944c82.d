@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mobigrid_bench-865c9fc3ec944c82.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-865c9fc3ec944c82.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-865c9fc3ec944c82.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

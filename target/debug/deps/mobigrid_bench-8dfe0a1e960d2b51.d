@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid_bench-8dfe0a1e960d2b51.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mobigrid_bench-8dfe0a1e960d2b51: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mobigrid_bench-c2c693893640f0ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmobigrid_bench-c2c693893640f0ed.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobigrid_bench-d6e3eaabcc040d3f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_bench-d6e3eaabcc040d3f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mobigrid_campus-1940ba8603a5c578.d: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+/root/repo/target/debug/deps/libmobigrid_campus-1940ba8603a5c578.rmeta: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+crates/campus/src/lib.rs:
+crates/campus/src/campus.rs:
+crates/campus/src/error.rs:
+crates/campus/src/graph.rs:
+crates/campus/src/grid_city.rs:
+crates/campus/src/inha.rs:
+crates/campus/src/region.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigrid_campus-6f332c2c2f2e40fa.d: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+/root/repo/target/debug/deps/libmobigrid_campus-6f332c2c2f2e40fa.rlib: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+/root/repo/target/debug/deps/libmobigrid_campus-6f332c2c2f2e40fa.rmeta: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+crates/campus/src/lib.rs:
+crates/campus/src/campus.rs:
+crates/campus/src/error.rs:
+crates/campus/src/graph.rs:
+crates/campus/src/grid_city.rs:
+crates/campus/src/inha.rs:
+crates/campus/src/region.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mobigrid_campus-81ea013b2cfe5636.d: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_campus-81ea013b2cfe5636.rmeta: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs Cargo.toml
+
+crates/campus/src/lib.rs:
+crates/campus/src/campus.rs:
+crates/campus/src/error.rs:
+crates/campus/src/graph.rs:
+crates/campus/src/grid_city.rs:
+crates/campus/src/inha.rs:
+crates/campus/src/region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobigrid_cluster-0417b9c3fb979d91.d: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libmobigrid_cluster-0417b9c3fb979d91.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsas.rs:
+crates/cluster/src/clustering.rs:
+crates/cluster/src/distance.rs:
+crates/cluster/src/kmeans.rs:

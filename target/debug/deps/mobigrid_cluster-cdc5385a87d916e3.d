@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mobigrid_cluster-cdc5385a87d916e3.d: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libmobigrid_cluster-cdc5385a87d916e3.rlib: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/libmobigrid_cluster-cdc5385a87d916e3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsas.rs:
+crates/cluster/src/clustering.rs:
+crates/cluster/src/distance.rs:
+crates/cluster/src/kmeans.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mobigrid_cluster-eceb75373bfc94e3.d: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/debug/deps/mobigrid_cluster-eceb75373bfc94e3: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsas.rs:
+crates/cluster/src/clustering.rs:
+crates/cluster/src/distance.rs:
+crates/cluster/src/kmeans.rs:

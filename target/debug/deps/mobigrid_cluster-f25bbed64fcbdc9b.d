@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigrid_cluster-f25bbed64fcbdc9b.d: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_cluster-f25bbed64fcbdc9b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsas.rs:
+crates/cluster/src/clustering.rs:
+crates/cluster/src/distance.rs:
+crates/cluster/src/kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mobigrid_experiments-3fa22fa6a633ea0f.d: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_experiments-3fa22fa6a633ea0f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/campaign.rs:
+crates/experiments/src/config.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/federated.rs:
+crates/experiments/src/intervals.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig89.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/scalability.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

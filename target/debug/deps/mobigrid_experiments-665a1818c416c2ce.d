@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mobigrid_experiments-665a1818c416c2ce.d: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs
+
+/root/repo/target/debug/deps/libmobigrid_experiments-665a1818c416c2ce.rmeta: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/campaign.rs:
+crates/experiments/src/config.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/federated.rs:
+crates/experiments/src/intervals.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig89.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/scalability.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/workload.rs:

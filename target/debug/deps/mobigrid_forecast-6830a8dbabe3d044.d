@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mobigrid_forecast-6830a8dbabe3d044.d: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_forecast-6830a8dbabe3d044.rmeta: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs Cargo.toml
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/ar.rs:
+crates/forecast/src/brown.rs:
+crates/forecast/src/error.rs:
+crates/forecast/src/holt.rs:
+crates/forecast/src/kalman.rs:
+crates/forecast/src/lin.rs:
+crates/forecast/src/metrics.rs:
+crates/forecast/src/ses.rs:
+crates/forecast/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

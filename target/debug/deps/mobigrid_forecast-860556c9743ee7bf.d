@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mobigrid_forecast-860556c9743ee7bf.d: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+/root/repo/target/debug/deps/libmobigrid_forecast-860556c9743ee7bf.rlib: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+/root/repo/target/debug/deps/libmobigrid_forecast-860556c9743ee7bf.rmeta: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/ar.rs:
+crates/forecast/src/brown.rs:
+crates/forecast/src/error.rs:
+crates/forecast/src/holt.rs:
+crates/forecast/src/kalman.rs:
+crates/forecast/src/lin.rs:
+crates/forecast/src/metrics.rs:
+crates/forecast/src/ses.rs:
+crates/forecast/src/tracker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigrid_forecast-cacc7def19154c39.d: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+/root/repo/target/debug/deps/libmobigrid_forecast-cacc7def19154c39.rmeta: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/ar.rs:
+crates/forecast/src/brown.rs:
+crates/forecast/src/error.rs:
+crates/forecast/src/holt.rs:
+crates/forecast/src/kalman.rs:
+crates/forecast/src/lin.rs:
+crates/forecast/src/metrics.rs:
+crates/forecast/src/ses.rs:
+crates/forecast/src/tracker.rs:

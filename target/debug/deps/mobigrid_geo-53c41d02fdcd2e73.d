@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mobigrid_geo-53c41d02fdcd2e73.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs
+
+/root/repo/target/debug/deps/libmobigrid_geo-53c41d02fdcd2e73.rmeta: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/heading.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/segment.rs:
+crates/geo/src/vec2.rs:

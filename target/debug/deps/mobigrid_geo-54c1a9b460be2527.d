@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mobigrid_geo-54c1a9b460be2527.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_geo-54c1a9b460be2527.rmeta: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/heading.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/segment.rs:
+crates/geo/src/vec2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

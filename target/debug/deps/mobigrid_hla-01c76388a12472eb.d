@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigrid_hla-01c76388a12472eb.d: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+/root/repo/target/debug/deps/libmobigrid_hla-01c76388a12472eb.rmeta: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+crates/hla/src/lib.rs:
+crates/hla/src/callback.rs:
+crates/hla/src/error.rs:
+crates/hla/src/federation.rs:
+crates/hla/src/fom.rs:
+crates/hla/src/handles.rs:
+crates/hla/src/region.rs:
+crates/hla/src/rti.rs:
+crates/hla/src/time.rs:
+crates/hla/src/time_mgmt.rs:

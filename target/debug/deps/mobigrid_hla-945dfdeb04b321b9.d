@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mobigrid_hla-945dfdeb04b321b9.d: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_hla-945dfdeb04b321b9.rmeta: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs Cargo.toml
+
+crates/hla/src/lib.rs:
+crates/hla/src/callback.rs:
+crates/hla/src/error.rs:
+crates/hla/src/federation.rs:
+crates/hla/src/fom.rs:
+crates/hla/src/handles.rs:
+crates/hla/src/region.rs:
+crates/hla/src/rti.rs:
+crates/hla/src/time.rs:
+crates/hla/src/time_mgmt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigrid_hla-dcbc814903c8f0d0.d: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+/root/repo/target/debug/deps/libmobigrid_hla-dcbc814903c8f0d0.rmeta: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+crates/hla/src/lib.rs:
+crates/hla/src/callback.rs:
+crates/hla/src/error.rs:
+crates/hla/src/federation.rs:
+crates/hla/src/fom.rs:
+crates/hla/src/handles.rs:
+crates/hla/src/region.rs:
+crates/hla/src/rti.rs:
+crates/hla/src/time.rs:
+crates/hla/src/time_mgmt.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mobigrid_mobility-64a99fcc495efb8c.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_mobility-64a99fcc495efb8c.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs Cargo.toml
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/indoor.rs:
+crates/mobility/src/linear.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/patrol.rs:
+crates/mobility/src/pattern.rs:
+crates/mobility/src/random_walk.rs:
+crates/mobility/src/schedule.rs:
+crates/mobility/src/stop.rs:
+crates/mobility/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

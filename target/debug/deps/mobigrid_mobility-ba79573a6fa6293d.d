@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mobigrid_mobility-ba79573a6fa6293d.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs
+
+/root/repo/target/debug/deps/libmobigrid_mobility-ba79573a6fa6293d.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/indoor.rs:
+crates/mobility/src/linear.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/patrol.rs:
+crates/mobility/src/pattern.rs:
+crates/mobility/src/random_walk.rs:
+crates/mobility/src/schedule.rs:
+crates/mobility/src/stop.rs:
+crates/mobility/src/trace.rs:

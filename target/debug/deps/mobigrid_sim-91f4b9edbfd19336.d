@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mobigrid_sim-91f4b9edbfd19336.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_sim-91f4b9edbfd19336.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/par.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

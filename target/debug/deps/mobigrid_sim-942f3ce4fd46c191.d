@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobigrid_sim-942f3ce4fd46c191.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/mobigrid_sim-942f3ce4fd46c191: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/par.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigrid_sim-ea8e7f3bb4348bdb.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libmobigrid_sim-ea8e7f3bb4348bdb.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libmobigrid_sim-ea8e7f3bb4348bdb.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/par.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/time.rs:

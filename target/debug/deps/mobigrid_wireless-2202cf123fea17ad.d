@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mobigrid_wireless-2202cf123fea17ad.d: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/debug/deps/libmobigrid_wireless-2202cf123fea17ad.rlib: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/debug/deps/libmobigrid_wireless-2202cf123fea17ad.rmeta: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/gateway.rs:
+crates/wireless/src/message.rs:
+crates/wireless/src/network.rs:
+crates/wireless/src/outage.rs:
+crates/wireless/src/traffic.rs:

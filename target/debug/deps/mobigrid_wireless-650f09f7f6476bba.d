@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobigrid_wireless-650f09f7f6476bba.d: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/debug/deps/libmobigrid_wireless-650f09f7f6476bba.rmeta: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/gateway.rs:
+crates/wireless/src/message.rs:
+crates/wireless/src/network.rs:
+crates/wireless/src/outage.rs:
+crates/wireless/src/traffic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mobigrid_wireless-74c21f7ed9671bdf.d: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmobigrid_wireless-74c21f7ed9671bdf.rmeta: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs Cargo.toml
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/gateway.rs:
+crates/wireless/src/message.rs:
+crates/wireless/src/network.rs:
+crates/wireless/src/outage.rs:
+crates/wireless/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

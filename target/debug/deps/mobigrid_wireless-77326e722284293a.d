@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mobigrid_wireless-77326e722284293a.d: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/debug/deps/mobigrid_wireless-77326e722284293a: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/gateway.rs:
+crates/wireless/src/message.rs:
+crates/wireless/src/network.rs:
+crates/wireless/src/outage.rs:
+crates/wireless/src/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-16001eb0c7f5a7bf.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/libpaper_shapes-16001eb0c7f5a7bf.rmeta: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-b7239fb246351b81.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-b7239fb246351b81: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-d2c71aa5dfe1f6fa.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-d2c71aa5dfe1f6fa: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

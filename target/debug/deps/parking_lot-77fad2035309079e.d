@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-77fad2035309079e.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-77fad2035309079e.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-77fad2035309079e.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

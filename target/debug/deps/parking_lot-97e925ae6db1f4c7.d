@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-97e925ae6db1f4c7.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-97e925ae6db1f4c7.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0466e28ee6580d57.d: crates/cluster/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0466e28ee6580d57: crates/cluster/tests/properties.rs
+
+crates/cluster/tests/properties.rs:

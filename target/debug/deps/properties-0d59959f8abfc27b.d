@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0d59959f8abfc27b.d: crates/mobility/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0d59959f8abfc27b: crates/mobility/tests/properties.rs
+
+crates/mobility/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-18e7b4006f6fcfb8.d: crates/forecast/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-18e7b4006f6fcfb8.rmeta: crates/forecast/tests/properties.rs Cargo.toml
+
+crates/forecast/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-240a328fbdd1767f.d: crates/wireless/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-240a328fbdd1767f: crates/wireless/tests/properties.rs
+
+crates/wireless/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2550773cdbdccf74.d: crates/cluster/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-2550773cdbdccf74.rmeta: crates/cluster/tests/properties.rs
+
+crates/cluster/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2b03e4d93846295a.d: crates/adf/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2b03e4d93846295a.rmeta: crates/adf/tests/properties.rs Cargo.toml
+
+crates/adf/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4017ccf905ea3382.d: crates/geo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4017ccf905ea3382.rmeta: crates/geo/tests/properties.rs Cargo.toml
+
+crates/geo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

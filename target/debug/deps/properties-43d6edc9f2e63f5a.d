@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-43d6edc9f2e63f5a.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-43d6edc9f2e63f5a: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

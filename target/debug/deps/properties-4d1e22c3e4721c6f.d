@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4d1e22c3e4721c6f.d: crates/mobility/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4d1e22c3e4721c6f.rmeta: crates/mobility/tests/properties.rs Cargo.toml
+
+crates/mobility/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

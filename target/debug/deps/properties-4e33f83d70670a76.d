@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4e33f83d70670a76.d: crates/forecast/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4e33f83d70670a76: crates/forecast/tests/properties.rs
+
+crates/forecast/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-559ba25dda2803d5.d: crates/adf/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-559ba25dda2803d5: crates/adf/tests/properties.rs
+
+crates/adf/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-663f7d45436e64e5.d: crates/forecast/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-663f7d45436e64e5.rmeta: crates/forecast/tests/properties.rs
+
+crates/forecast/tests/properties.rs:

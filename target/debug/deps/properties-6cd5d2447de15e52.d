@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6cd5d2447de15e52.d: crates/wireless/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6cd5d2447de15e52.rmeta: crates/wireless/tests/properties.rs
+
+crates/wireless/tests/properties.rs:

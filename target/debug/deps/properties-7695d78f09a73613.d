@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7695d78f09a73613.d: crates/adf/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7695d78f09a73613: crates/adf/tests/properties.rs
+
+crates/adf/tests/properties.rs:

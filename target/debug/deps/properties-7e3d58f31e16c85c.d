@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7e3d58f31e16c85c.d: crates/cluster/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7e3d58f31e16c85c.rmeta: crates/cluster/tests/properties.rs Cargo.toml
+
+crates/cluster/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

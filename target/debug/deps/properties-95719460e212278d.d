@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-95719460e212278d.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-95719460e212278d.rmeta: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9bbef6d00cb7fd70.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9bbef6d00cb7fd70: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb53061f958807f1.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-cb53061f958807f1.rmeta: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d09400a7c11c42ad.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d09400a7c11c42ad: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

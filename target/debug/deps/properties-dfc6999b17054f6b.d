@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dfc6999b17054f6b.d: crates/mobility/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-dfc6999b17054f6b.rmeta: crates/mobility/tests/properties.rs
+
+crates/mobility/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ef37001c8f100279.d: crates/adf/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-ef37001c8f100279.rmeta: crates/adf/tests/properties.rs
+
+crates/adf/tests/properties.rs:

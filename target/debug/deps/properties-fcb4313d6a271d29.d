@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fcb4313d6a271d29.d: crates/wireless/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fcb4313d6a271d29.rmeta: crates/wireless/tests/properties.rs Cargo.toml
+
+crates/wireless/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

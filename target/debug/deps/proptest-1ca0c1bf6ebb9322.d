@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1ca0c1bf6ebb9322.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1ca0c1bf6ebb9322.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1ca0c1bf6ebb9322.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2e629314fe7fffd4.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2e629314fe7fffd4.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

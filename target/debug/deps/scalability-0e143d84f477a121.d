@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scalability-0e143d84f477a121.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-0e143d84f477a121.rmeta: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-183705d22b0ae4c7.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/scalability-183705d22b0ae4c7: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

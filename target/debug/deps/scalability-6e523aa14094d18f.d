@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-6e523aa14094d18f.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libscalability-6e523aa14094d18f.rmeta: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

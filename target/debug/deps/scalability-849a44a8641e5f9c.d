@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-849a44a8641e5f9c.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/scalability-849a44a8641e5f9c: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-8f60e2d2537a11d5.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libscalability-8f60e2d2537a11d5.rmeta: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

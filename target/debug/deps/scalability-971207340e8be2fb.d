@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-971207340e8be2fb.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/scalability-971207340e8be2fb: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

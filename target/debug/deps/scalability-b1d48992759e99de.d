@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalability-b1d48992759e99de.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libscalability-b1d48992759e99de.rmeta: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

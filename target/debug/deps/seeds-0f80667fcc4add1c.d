@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-0f80667fcc4add1c.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libseeds-0f80667fcc4add1c.rmeta: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-185f594acb53e1ca.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/seeds-185f594acb53e1ca: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

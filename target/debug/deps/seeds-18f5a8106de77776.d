@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-18f5a8106de77776.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/seeds-18f5a8106de77776: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

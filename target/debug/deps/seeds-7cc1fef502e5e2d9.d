@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-7cc1fef502e5e2d9.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libseeds-7cc1fef502e5e2d9.rmeta: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-ce637d3cfed2ff36.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/seeds-ce637d3cfed2ff36: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/seeds-f81a41eaebbcae31.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/debug/deps/libseeds-f81a41eaebbcae31.rmeta: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:

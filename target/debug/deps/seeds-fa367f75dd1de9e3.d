@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/seeds-fa367f75dd1de9e3.d: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libseeds-fa367f75dd1de9e3.rmeta: crates/experiments/src/bin/seeds.rs crates/experiments/src/bin/common/mod.rs Cargo.toml
+
+crates/experiments/src/bin/seeds.rs:
+crates/experiments/src/bin/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

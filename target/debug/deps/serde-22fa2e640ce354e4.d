@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-22fa2e640ce354e4.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22fa2e640ce354e4.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-22fa2e640ce354e4.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-59b40c24f9b238b1.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-59b40c24f9b238b1.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7e5866689b5e40ff.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-7e5866689b5e40ff.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

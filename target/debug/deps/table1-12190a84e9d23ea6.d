@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-12190a84e9d23ea6.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-12190a84e9d23ea6.rmeta: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

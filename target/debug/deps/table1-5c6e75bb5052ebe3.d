@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5c6e75bb5052ebe3.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5c6e75bb5052ebe3: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

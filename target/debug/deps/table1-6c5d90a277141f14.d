@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-6c5d90a277141f14.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-6c5d90a277141f14.rmeta: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-803d90dfe7ad7805.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-803d90dfe7ad7805: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

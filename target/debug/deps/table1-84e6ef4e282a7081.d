@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-84e6ef4e282a7081.d: crates/experiments/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-84e6ef4e282a7081.rmeta: crates/experiments/src/bin/table1.rs Cargo.toml
+
+crates/experiments/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

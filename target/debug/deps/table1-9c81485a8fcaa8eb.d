@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9c81485a8fcaa8eb.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9c81485a8fcaa8eb: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

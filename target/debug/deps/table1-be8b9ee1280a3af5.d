@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-be8b9ee1280a3af5.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-be8b9ee1280a3af5.rmeta: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

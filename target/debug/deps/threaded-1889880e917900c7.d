@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded-1889880e917900c7.d: crates/hla/tests/threaded.rs
+
+/root/repo/target/debug/deps/libthreaded-1889880e917900c7.rmeta: crates/hla/tests/threaded.rs
+
+crates/hla/tests/threaded.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded-2517084a00a372f6.d: crates/hla/tests/threaded.rs
+
+/root/repo/target/debug/deps/threaded-2517084a00a372f6: crates/hla/tests/threaded.rs
+
+crates/hla/tests/threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded-9b9db6f3598526d1.d: crates/hla/tests/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded-9b9db6f3598526d1.rmeta: crates/hla/tests/threaded.rs Cargo.toml
+
+crates/hla/tests/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workspace_api-8f569eea76bcfc46.d: tests/workspace_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkspace_api-8f569eea76bcfc46.rmeta: tests/workspace_api.rs Cargo.toml
+
+tests/workspace_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_api-ba3650f07a76e310.d: tests/workspace_api.rs
+
+/root/repo/target/debug/deps/workspace_api-ba3650f07a76e310: tests/workspace_api.rs
+
+tests/workspace_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_api-bc3f77a7a74d9640.d: tests/workspace_api.rs
+
+/root/repo/target/debug/deps/workspace_api-bc3f77a7a74d9640: tests/workspace_api.rs
+
+tests/workspace_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_api-ece914d6bb24b25b.d: tests/workspace_api.rs
+
+/root/repo/target/debug/deps/libworkspace_api-ece914d6bb24b25b.rmeta: tests/workspace_api.rs
+
+tests/workspace_api.rs:

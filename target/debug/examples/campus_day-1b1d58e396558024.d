@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_day-1b1d58e396558024.d: examples/campus_day.rs
+
+/root/repo/target/debug/examples/libcampus_day-1b1d58e396558024.rmeta: examples/campus_day.rs
+
+examples/campus_day.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_day-e0029e80cc41f6b2.d: examples/campus_day.rs
+
+/root/repo/target/debug/examples/campus_day-e0029e80cc41f6b2: examples/campus_day.rs
+
+examples/campus_day.rs:

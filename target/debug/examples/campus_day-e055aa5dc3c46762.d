@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_day-e055aa5dc3c46762.d: examples/campus_day.rs
+
+/root/repo/target/debug/examples/campus_day-e055aa5dc3c46762: examples/campus_day.rs
+
+examples/campus_day.rs:

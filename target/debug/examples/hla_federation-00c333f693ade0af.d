@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hla_federation-00c333f693ade0af.d: examples/hla_federation.rs
+
+/root/repo/target/debug/examples/libhla_federation-00c333f693ade0af.rmeta: examples/hla_federation.rs
+
+examples/hla_federation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hla_federation-34fd46678e25a398.d: examples/hla_federation.rs
+
+/root/repo/target/debug/examples/hla_federation-34fd46678e25a398: examples/hla_federation.rs
+
+examples/hla_federation.rs:

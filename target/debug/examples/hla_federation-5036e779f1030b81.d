@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hla_federation-5036e779f1030b81.d: examples/hla_federation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhla_federation-5036e779f1030b81.rmeta: examples/hla_federation.rs Cargo.toml
+
+examples/hla_federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hla_federation-b2ff21804c9336c1.d: examples/hla_federation.rs
+
+/root/repo/target/debug/examples/hla_federation-b2ff21804c9336c1: examples/hla_federation.rs
+
+examples/hla_federation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/location_estimation-094ccbfd4ea57c37.d: examples/location_estimation.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocation_estimation-094ccbfd4ea57c37.rmeta: examples/location_estimation.rs Cargo.toml
+
+examples/location_estimation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/location_estimation-10459a1d573f2e3c.d: examples/location_estimation.rs
+
+/root/repo/target/debug/examples/liblocation_estimation-10459a1d573f2e3c.rmeta: examples/location_estimation.rs
+
+examples/location_estimation.rs:

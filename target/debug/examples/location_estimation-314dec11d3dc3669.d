@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/location_estimation-314dec11d3dc3669.d: examples/location_estimation.rs
+
+/root/repo/target/debug/examples/location_estimation-314dec11d3dc3669: examples/location_estimation.rs
+
+examples/location_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/location_estimation-6945139180113040.d: examples/location_estimation.rs
+
+/root/repo/target/debug/examples/location_estimation-6945139180113040: examples/location_estimation.rs
+
+examples/location_estimation.rs:

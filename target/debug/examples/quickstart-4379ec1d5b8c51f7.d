@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4379ec1d5b8c51f7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-4379ec1d5b8c51f7.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

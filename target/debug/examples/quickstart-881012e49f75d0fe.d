@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-881012e49f75d0fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-881012e49f75d0fe: examples/quickstart.rs
+
+examples/quickstart.rs:

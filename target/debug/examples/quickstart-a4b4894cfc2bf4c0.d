@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a4b4894cfc2bf4c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a4b4894cfc2bf4c0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_reduction-6df160491254ebd4.d: examples/traffic_reduction.rs
+
+/root/repo/target/debug/examples/libtraffic_reduction-6df160491254ebd4.rmeta: examples/traffic_reduction.rs
+
+examples/traffic_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_reduction-85d878b81b6bb332.d: examples/traffic_reduction.rs
+
+/root/repo/target/debug/examples/traffic_reduction-85d878b81b6bb332: examples/traffic_reduction.rs
+
+examples/traffic_reduction.rs:

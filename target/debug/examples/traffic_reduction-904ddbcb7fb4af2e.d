@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_reduction-904ddbcb7fb4af2e.d: examples/traffic_reduction.rs
+
+/root/repo/target/debug/examples/traffic_reduction-904ddbcb7fb4af2e: examples/traffic_reduction.rs
+
+examples/traffic_reduction.rs:

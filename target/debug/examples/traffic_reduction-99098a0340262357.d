@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/traffic_reduction-99098a0340262357.d: examples/traffic_reduction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraffic_reduction-99098a0340262357.rmeta: examples/traffic_reduction.rs Cargo.toml
+
+examples/traffic_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

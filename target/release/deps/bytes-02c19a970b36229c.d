@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-02c19a970b36229c.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-02c19a970b36229c.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-02c19a970b36229c.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-7b6bb22c42546e43.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7b6bb22c42546e43.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-7b6bb22c42546e43.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

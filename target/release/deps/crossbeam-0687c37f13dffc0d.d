@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-0687c37f13dffc0d.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0687c37f13dffc0d.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0687c37f13dffc0d.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fig7-e315ad157fd6370a.d: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/release/deps/fig7-e315ad157fd6370a: crates/experiments/src/bin/fig7.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/fig7.rs:
+crates/experiments/src/bin/common/mod.rs:

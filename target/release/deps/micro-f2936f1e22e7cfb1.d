@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-f2936f1e22e7cfb1.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-f2936f1e22e7cfb1: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobigrid-72b80a91a26afc77.d: src/lib.rs
+
+/root/repo/target/release/deps/libmobigrid-72b80a91a26afc77.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmobigrid-72b80a91a26afc77.rmeta: src/lib.rs
+
+src/lib.rs:

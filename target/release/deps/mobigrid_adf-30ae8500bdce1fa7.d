@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mobigrid_adf-30ae8500bdce1fa7.d: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+/root/repo/target/release/deps/libmobigrid_adf-30ae8500bdce1fa7.rlib: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+/root/repo/target/release/deps/libmobigrid_adf-30ae8500bdce1fa7.rmeta: crates/adf/src/lib.rs crates/adf/src/broker.rs crates/adf/src/classifier.rs crates/adf/src/config.rs crates/adf/src/filter.rs crates/adf/src/node.rs crates/adf/src/pipeline.rs crates/adf/src/policy.rs crates/adf/src/stats.rs
+
+crates/adf/src/lib.rs:
+crates/adf/src/broker.rs:
+crates/adf/src/classifier.rs:
+crates/adf/src/config.rs:
+crates/adf/src/filter.rs:
+crates/adf/src/node.rs:
+crates/adf/src/pipeline.rs:
+crates/adf/src/policy.rs:
+crates/adf/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mobigrid_bench-1de30bc4176743d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmobigrid_bench-1de30bc4176743d7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmobigrid_bench-1de30bc4176743d7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

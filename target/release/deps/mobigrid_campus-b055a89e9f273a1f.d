@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mobigrid_campus-b055a89e9f273a1f.d: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+/root/repo/target/release/deps/libmobigrid_campus-b055a89e9f273a1f.rlib: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+/root/repo/target/release/deps/libmobigrid_campus-b055a89e9f273a1f.rmeta: crates/campus/src/lib.rs crates/campus/src/campus.rs crates/campus/src/error.rs crates/campus/src/graph.rs crates/campus/src/grid_city.rs crates/campus/src/inha.rs crates/campus/src/region.rs
+
+crates/campus/src/lib.rs:
+crates/campus/src/campus.rs:
+crates/campus/src/error.rs:
+crates/campus/src/graph.rs:
+crates/campus/src/grid_city.rs:
+crates/campus/src/inha.rs:
+crates/campus/src/region.rs:

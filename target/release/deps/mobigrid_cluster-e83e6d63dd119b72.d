@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mobigrid_cluster-e83e6d63dd119b72.d: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/release/deps/libmobigrid_cluster-e83e6d63dd119b72.rlib: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+/root/repo/target/release/deps/libmobigrid_cluster-e83e6d63dd119b72.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bsas.rs crates/cluster/src/clustering.rs crates/cluster/src/distance.rs crates/cluster/src/kmeans.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bsas.rs:
+crates/cluster/src/clustering.rs:
+crates/cluster/src/distance.rs:
+crates/cluster/src/kmeans.rs:

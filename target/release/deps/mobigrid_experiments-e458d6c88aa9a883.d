@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/mobigrid_experiments-e458d6c88aa9a883.d: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs
+
+/root/repo/target/release/deps/libmobigrid_experiments-e458d6c88aa9a883.rlib: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs
+
+/root/repo/target/release/deps/libmobigrid_experiments-e458d6c88aa9a883.rmeta: crates/experiments/src/lib.rs crates/experiments/src/campaign.rs crates/experiments/src/config.rs crates/experiments/src/extensions.rs crates/experiments/src/federated.rs crates/experiments/src/intervals.rs crates/experiments/src/fig4.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig89.rs crates/experiments/src/report.rs crates/experiments/src/robustness.rs crates/experiments/src/scalability.rs crates/experiments/src/table1.rs crates/experiments/src/workload.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/campaign.rs:
+crates/experiments/src/config.rs:
+crates/experiments/src/extensions.rs:
+crates/experiments/src/federated.rs:
+crates/experiments/src/intervals.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig89.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/robustness.rs:
+crates/experiments/src/scalability.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/workload.rs:

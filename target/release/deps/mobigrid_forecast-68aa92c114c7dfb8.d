@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mobigrid_forecast-68aa92c114c7dfb8.d: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+/root/repo/target/release/deps/libmobigrid_forecast-68aa92c114c7dfb8.rlib: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+/root/repo/target/release/deps/libmobigrid_forecast-68aa92c114c7dfb8.rmeta: crates/forecast/src/lib.rs crates/forecast/src/ar.rs crates/forecast/src/brown.rs crates/forecast/src/error.rs crates/forecast/src/holt.rs crates/forecast/src/kalman.rs crates/forecast/src/lin.rs crates/forecast/src/metrics.rs crates/forecast/src/ses.rs crates/forecast/src/tracker.rs
+
+crates/forecast/src/lib.rs:
+crates/forecast/src/ar.rs:
+crates/forecast/src/brown.rs:
+crates/forecast/src/error.rs:
+crates/forecast/src/holt.rs:
+crates/forecast/src/kalman.rs:
+crates/forecast/src/lin.rs:
+crates/forecast/src/metrics.rs:
+crates/forecast/src/ses.rs:
+crates/forecast/src/tracker.rs:

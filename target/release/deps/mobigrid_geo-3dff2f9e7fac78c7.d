@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mobigrid_geo-3dff2f9e7fac78c7.d: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs
+
+/root/repo/target/release/deps/libmobigrid_geo-3dff2f9e7fac78c7.rlib: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs
+
+/root/repo/target/release/deps/libmobigrid_geo-3dff2f9e7fac78c7.rmeta: crates/geo/src/lib.rs crates/geo/src/error.rs crates/geo/src/heading.rs crates/geo/src/point.rs crates/geo/src/polygon.rs crates/geo/src/polyline.rs crates/geo/src/rect.rs crates/geo/src/segment.rs crates/geo/src/vec2.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/error.rs:
+crates/geo/src/heading.rs:
+crates/geo/src/point.rs:
+crates/geo/src/polygon.rs:
+crates/geo/src/polyline.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/segment.rs:
+crates/geo/src/vec2.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mobigrid_hla-847aa2410cd05ad7.d: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+/root/repo/target/release/deps/libmobigrid_hla-847aa2410cd05ad7.rlib: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+/root/repo/target/release/deps/libmobigrid_hla-847aa2410cd05ad7.rmeta: crates/hla/src/lib.rs crates/hla/src/callback.rs crates/hla/src/error.rs crates/hla/src/federation.rs crates/hla/src/fom.rs crates/hla/src/handles.rs crates/hla/src/region.rs crates/hla/src/rti.rs crates/hla/src/time.rs crates/hla/src/time_mgmt.rs
+
+crates/hla/src/lib.rs:
+crates/hla/src/callback.rs:
+crates/hla/src/error.rs:
+crates/hla/src/federation.rs:
+crates/hla/src/fom.rs:
+crates/hla/src/handles.rs:
+crates/hla/src/region.rs:
+crates/hla/src/rti.rs:
+crates/hla/src/time.rs:
+crates/hla/src/time_mgmt.rs:

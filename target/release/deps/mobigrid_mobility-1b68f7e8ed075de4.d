@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mobigrid_mobility-1b68f7e8ed075de4.d: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs
+
+/root/repo/target/release/deps/libmobigrid_mobility-1b68f7e8ed075de4.rlib: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs
+
+/root/repo/target/release/deps/libmobigrid_mobility-1b68f7e8ed075de4.rmeta: crates/mobility/src/lib.rs crates/mobility/src/gauss_markov.rs crates/mobility/src/indoor.rs crates/mobility/src/linear.rs crates/mobility/src/model.rs crates/mobility/src/patrol.rs crates/mobility/src/pattern.rs crates/mobility/src/random_walk.rs crates/mobility/src/schedule.rs crates/mobility/src/stop.rs crates/mobility/src/trace.rs
+
+crates/mobility/src/lib.rs:
+crates/mobility/src/gauss_markov.rs:
+crates/mobility/src/indoor.rs:
+crates/mobility/src/linear.rs:
+crates/mobility/src/model.rs:
+crates/mobility/src/patrol.rs:
+crates/mobility/src/pattern.rs:
+crates/mobility/src/random_walk.rs:
+crates/mobility/src/schedule.rs:
+crates/mobility/src/stop.rs:
+crates/mobility/src/trace.rs:

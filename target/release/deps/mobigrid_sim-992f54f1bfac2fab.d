@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mobigrid_sim-992f54f1bfac2fab.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libmobigrid_sim-992f54f1bfac2fab.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libmobigrid_sim-992f54f1bfac2fab.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/par.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/stepper.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/par.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/stepper.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mobigrid_wireless-52288faa97a30c69.d: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/release/deps/libmobigrid_wireless-52288faa97a30c69.rlib: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+/root/repo/target/release/deps/libmobigrid_wireless-52288faa97a30c69.rmeta: crates/wireless/src/lib.rs crates/wireless/src/energy.rs crates/wireless/src/error.rs crates/wireless/src/gateway.rs crates/wireless/src/message.rs crates/wireless/src/network.rs crates/wireless/src/outage.rs crates/wireless/src/traffic.rs
+
+crates/wireless/src/lib.rs:
+crates/wireless/src/energy.rs:
+crates/wireless/src/error.rs:
+crates/wireless/src/gateway.rs:
+crates/wireless/src/message.rs:
+crates/wireless/src/network.rs:
+crates/wireless/src/outage.rs:
+crates/wireless/src/traffic.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-8a25d35bc85d6740.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-8a25d35bc85d6740.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-8a25d35bc85d6740.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-20d8b18ad326a4c4.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-20d8b18ad326a4c4.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-20d8b18ad326a4c4.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/scalability-5776beba90ae78a8.d: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+/root/repo/target/release/deps/scalability-5776beba90ae78a8: crates/experiments/src/bin/scalability.rs crates/experiments/src/bin/common/mod.rs
+
+crates/experiments/src/bin/scalability.rs:
+crates/experiments/src/bin/common/mod.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-64ef7704643ea646.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-64ef7704643ea646.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-64ef7704643ea646.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:
