@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate — the same three steps the GitHub workflow runs.
+# Local CI gate — the same steps the GitHub workflow runs.
 #
 #   ./ci.sh
 #
@@ -12,6 +12,12 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> cargo test -p mobigrid-bench --test zero_alloc"
+cargo test -p mobigrid-bench --test zero_alloc
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -393,18 +393,31 @@ impl GridBroker {
     ///
     /// Panics when `shard_size` is zero.
     pub fn shard_views(&mut self, shard_size: usize) -> Vec<BrokerShard<'_>> {
+        self.shard_views_iter(shard_size).collect()
+    }
+
+    /// Iterator form of [`GridBroker::shard_views`]: yields the shards
+    /// lazily without collecting them into a `Vec`, so a caller zipping
+    /// broker shards into larger per-shard jobs allocates nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_size` is zero.
+    pub fn shard_views_iter(
+        &mut self,
+        shard_size: usize,
+    ) -> impl ExactSizeIterator<Item = BrokerShard<'_>> {
         assert!(shard_size > 0, "shard size must be positive");
         let kind = self.kind;
         self.slots
             .chunks_mut(shard_size)
             .enumerate()
-            .map(|(i, slots)| BrokerShard {
+            .map(move |(i, slots)| BrokerShard {
                 kind,
                 base: i * shard_size,
                 slots,
                 delta: BrokerDelta::default(),
             })
-            .collect()
     }
 
     /// Merges a shard's counter changes back into the broker.

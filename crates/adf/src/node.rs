@@ -21,6 +21,7 @@ pub struct MobileNode {
     rng: StdRng,
     position: Point,
     trace: Trace,
+    record_trace: bool,
     home_anchor: Option<Point>,
 }
 
@@ -61,8 +62,21 @@ impl MobileNode {
             rng,
             position,
             trace: Trace::new(),
+            record_trace: false,
             home_anchor: None,
         }
+    }
+
+    /// Enables ground-truth trace recording on [`MobileNode::step`].
+    ///
+    /// Off by default: an unbounded trace grows (and occasionally
+    /// reallocates) on every tick, which both breaks the simulation's
+    /// allocation-free steady state and leaks memory linearly in run length.
+    /// Turn it on only for workload export or trace-replay capture.
+    #[must_use]
+    pub fn with_trace_recording(mut self) -> Self {
+        self.record_trace = true;
+        self
     }
 
     /// Attaches the node's home-region anchor (e.g. the region centre),
@@ -115,17 +129,21 @@ impl MobileNode {
         self.position
     }
 
-    /// The recorded ground-truth trace.
+    /// The recorded ground-truth trace (empty unless
+    /// [`MobileNode::with_trace_recording`] was requested).
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
     /// Advances the node by `dt` seconds to simulation time `time_s`,
-    /// recording the trace point and returning the new position.
+    /// returning the new position. Records the trace point only when trace
+    /// recording is enabled.
     pub fn step(&mut self, time_s: f64, dt: f64) -> Point {
         self.position = self.model.step(dt, &mut self.rng);
-        self.trace.record(time_s, self.position);
+        if self.record_trace {
+            self.trace.record(time_s, self.position);
+        }
         self.position
     }
 }
@@ -161,12 +179,15 @@ mod tests {
     }
 
     #[test]
-    fn stepping_records_the_trace() {
-        let mut n = parked_node();
+    fn stepping_records_the_trace_only_when_enabled() {
+        let mut silent = parked_node();
+        let mut recording = parked_node().with_trace_recording();
         for t in 1..=5 {
-            n.step(t as f64, 1.0);
+            silent.step(t as f64, 1.0);
+            recording.step(t as f64, 1.0);
         }
-        assert_eq!(n.trace().len(), 5);
-        assert_eq!(n.trace().total_distance(), 0.0);
+        assert_eq!(silent.trace().len(), 0);
+        assert_eq!(recording.trace().len(), 5);
+        assert_eq!(recording.trace().total_distance(), 0.0);
     }
 }

@@ -156,6 +156,7 @@ impl SimBuilder {
         }
         let seqs = vec![0u32; self.nodes.len()];
         let kinds: Vec<RegionKind> = self.nodes.iter().map(MobileNode::region_kind).collect();
+        let scratch = TickScratch::new(self.nodes.len());
         Ok(MobileGridSim {
             nodes: self.nodes,
             kinds,
@@ -168,7 +169,40 @@ impl SimBuilder {
             seqs,
             cumulative: RegionTally::new(),
             pool: ShardPool::new(self.threads),
+            scratch,
         })
+    }
+}
+
+/// Reusable per-tick buffers owned by [`MobileGridSim`] — the simulation's
+/// tick arena.
+///
+/// Every buffer is sized for the (fixed) node population at build time and
+/// reused on every [`MobileGridSim::step`], so the steady-state tick path
+/// performs no heap allocations (see `DESIGN.md`, "Tick memory model").
+/// `observations` and `delivered` are fixed-length and overwritten in
+/// place; `decisions` and `outs` are cleared and refilled, reusing their
+/// high-water capacity.
+struct TickScratch {
+    /// This tick's `(node, ground-truth position)` pairs, node order.
+    /// Written by phase 1 through disjoint per-shard slices.
+    observations: Vec<(MnId, Point)>,
+    /// One filter decision per observation, written by the policy.
+    decisions: Vec<Decision>,
+    /// Per-observation delivery mask when an access network is attached.
+    delivered: Vec<bool>,
+    /// Per-shard partial results of the fused apply/measure phase.
+    outs: Vec<ShardOut>,
+}
+
+impl TickScratch {
+    fn new(nodes: usize) -> Self {
+        TickScratch {
+            observations: vec![(MnId::new(0), Point::ORIGIN); nodes],
+            decisions: Vec::with_capacity(nodes),
+            delivered: vec![false; nodes],
+            outs: Vec::with_capacity(mobigrid_sim::par::shard_count(nodes, SHARD_SIZE)),
+        }
     }
 }
 
@@ -222,6 +256,7 @@ pub struct MobileGridSim {
     seqs: Vec<u32>,
     cumulative: RegionTally,
     pool: ShardPool,
+    scratch: TickScratch,
 }
 
 impl std::fmt::Debug for MobileGridSim {
@@ -329,78 +364,87 @@ impl MobileGridSim {
     /// accounting. Every per-shard partial is reduced in shard order, so
     /// the returned [`TickStats`] stream is bit-identical for every thread
     /// count.
+    ///
+    /// Every phase works in the reusable [`TickScratch`] buffers, so in
+    /// steady state (with a single worker thread) a tick performs **zero
+    /// heap allocations** — pinned by the counting-allocator test in
+    /// `crates/bench/tests/zero_alloc.rs`. With more threads the only
+    /// allocations are the executor's transient spawn scaffolding.
     pub fn step(&mut self) -> TickStats {
         self.tick += 1;
         let time_s = self.tick as f64 * self.dt;
         let dt = self.dt;
+        let scratch = &mut self.scratch;
 
-        // 1. Advance ground truth — shard-parallel. Each node owns its RNG,
-        //    so per-node trajectories are independent of scheduling.
-        let node_shards: Vec<&mut [MobileNode]> = self.nodes.chunks_mut(SHARD_SIZE).collect();
-        let observed: Vec<Vec<(MnId, Point)>> = self.pool.run(node_shards, |_, shard| {
-            shard
-                .iter_mut()
-                .map(|n| {
-                    let p = n.step(time_s, dt);
-                    (n.id(), p)
-                })
-                .collect()
-        });
-        let observations: Vec<(MnId, Point)> = observed.into_iter().flatten().collect();
+        // 1. Advance ground truth — shard-parallel, each shard writing its
+        //    observations into a disjoint slice of the flat buffer. Each
+        //    node owns its RNG, so per-node trajectories are independent of
+        //    scheduling.
+        self.pool.for_each(
+            self.nodes
+                .chunks_mut(SHARD_SIZE)
+                .zip(scratch.observations.chunks_mut(SHARD_SIZE)),
+            |_, (nodes, obs)| {
+                for (n, slot) in nodes.iter_mut().zip(obs) {
+                    *slot = (n.id(), n.step(time_s, dt));
+                }
+            },
+        );
 
         // 2. Filter — sequential: the ADF clusters across all nodes.
-        let decisions = self.policy.process_tick(time_s, &observations);
-        debug_assert_eq!(decisions.len(), observations.len());
+        self.policy
+            .process_tick(time_s, &scratch.observations, &mut scratch.decisions);
+        debug_assert_eq!(scratch.decisions.len(), scratch.observations.len());
 
         // 2b. Route transmitted updates through the access network,
         //     in node order. The update carries the node's *current*
         //     sequence number; phase 3 rebuilds the identical update and
         //     advances the counter.
-        let delivered: Option<Vec<bool>> = self.network.as_mut().map(|net| {
-            observations
+        let delivered: Option<&[bool]> = if let Some(net) = self.network.as_mut() {
+            for (((id, pos), decision), out) in scratch
+                .observations
                 .iter()
-                .zip(&decisions)
-                .map(|((id, pos), decision)| match decision {
+                .zip(&scratch.decisions)
+                .zip(scratch.delivered.iter_mut())
+            {
+                *out = match decision {
                     Decision::Sent => {
                         let lu = LocationUpdate::new(*id, time_s, *pos, self.seqs[id.index()]);
                         net.transmit(&lu).is_ok()
                     }
                     Decision::Filtered => false,
-                })
-                .collect()
-        });
+                };
+            }
+            Some(&scratch.delivered)
+        } else {
+            None
+        };
 
         // 3+4 fused, shard-parallel: apply each decision to both brokers
         // and measure location error against ground truth — the paper's
         // RMSE over all n nodes at time t — from the freshly updated dense
-        // slots.
-        let le_shards = self.broker_le.shard_views(SHARD_SIZE);
-        let raw_shards = self.broker_raw.shard_views(SHARD_SIZE);
-        let jobs: Vec<ShardJob<'_>> = self
+        // slots. The job list is a lazy zip of per-shard slices; results
+        // land in the reused `outs` buffer in shard order.
+        let jobs = self
             .kinds
             .chunks(SHARD_SIZE)
-            .zip(observations.chunks(SHARD_SIZE))
-            .zip(decisions.chunks(SHARD_SIZE))
+            .zip(scratch.observations.chunks(SHARD_SIZE))
+            .zip(scratch.decisions.chunks(SHARD_SIZE))
             .zip(self.seqs.chunks_mut(SHARD_SIZE))
-            .zip(le_shards)
-            .zip(raw_shards)
+            .zip(self.broker_le.shard_views_iter(SHARD_SIZE))
+            .zip(self.broker_raw.shard_views_iter(SHARD_SIZE))
             .enumerate()
-            .map(
-                |(i, (((((kinds, obs), dec), seqs), le), raw))| ShardJob {
-                    kinds,
-                    observations: obs,
-                    decisions: dec,
-                    delivered: delivered.as_deref().map(|d| {
-                        &d[i * SHARD_SIZE..(i * SHARD_SIZE + obs.len())]
-                    }),
-                    seqs,
-                    le,
-                    raw,
-                },
-            )
-            .collect();
-
-        let outs = self.pool.run(jobs, |_, job| Self::run_shard(time_s, job));
+            .map(|(i, (((((kinds, obs), dec), seqs), le), raw))| ShardJob {
+                kinds,
+                observations: obs,
+                decisions: dec,
+                delivered: delivered.map(|d| &d[i * SHARD_SIZE..(i * SHARD_SIZE + obs.len())]),
+                seqs,
+                le,
+                raw,
+            });
+        self.pool
+            .run_into(jobs, &mut scratch.outs, |_, job| Self::run_shard(time_s, job));
 
         // Shard-ordered reduction: exact for the integer tallies, and a
         // fixed floating-point summation order for the RMSE partials.
@@ -412,7 +456,7 @@ impl MobileGridSim {
         let mut road_raw = Rmse::new();
         let mut bld_le = Rmse::new();
         let mut bld_raw = Rmse::new();
-        for out in &outs {
+        for out in &scratch.outs {
             sent += out.sent;
             tick_tally.merge(&out.tally);
             all_le.merge(&out.all_le);
@@ -429,7 +473,7 @@ impl MobileGridSim {
         TickStats {
             time_s,
             sent,
-            observed: observations.len() as u32,
+            observed: scratch.observations.len() as u32,
             region: tick_tally,
             rmse_with_le: all_le.value(),
             rmse_without_le: all_raw.value(),

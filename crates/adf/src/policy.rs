@@ -15,9 +15,29 @@ use crate::{AdfConfig, Decision, DistanceFilter, FilterReference, MobilityClassi
 /// Implementations are driven with whole ticks (all nodes' observations at
 /// one instant) because the adaptive policy clusters *across* nodes.
 pub trait FilterPolicy {
-    /// Processes one tick of observations, returning one decision per
-    /// observation in the same order.
-    fn process_tick(&mut self, time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision>;
+    /// Processes one tick of observations, writing one decision per
+    /// observation (same order) into `decisions`.
+    ///
+    /// `decisions` is a caller-provided scratch buffer: implementations
+    /// must clear it and then fill it, never read stale contents. Borrowing
+    /// the buffer instead of returning a fresh `Vec` keeps the simulation's
+    /// steady-state tick path allocation-free — the caller hands the same
+    /// buffer back every tick and its capacity is reused.
+    fn process_tick(
+        &mut self,
+        time_s: f64,
+        observations: &[(MnId, Point)],
+        decisions: &mut Vec<Decision>,
+    );
+
+    /// Convenience wrapper around [`FilterPolicy::process_tick`] that
+    /// returns the decisions as a fresh `Vec` — for tests and one-shot
+    /// callers that don't manage a scratch buffer.
+    fn decide_tick(&mut self, time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision> {
+        let mut decisions = Vec::with_capacity(observations.len());
+        self.process_tick(time_s, observations, &mut decisions);
+        decisions
+    }
 
     /// A short human-readable policy name for reports.
     fn name(&self) -> &str;
@@ -30,8 +50,13 @@ pub trait FilterPolicy {
 }
 
 impl<P: FilterPolicy + ?Sized> FilterPolicy for Box<P> {
-    fn process_tick(&mut self, time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision> {
-        (**self).process_tick(time_s, observations)
+    fn process_tick(
+        &mut self,
+        time_s: f64,
+        observations: &[(MnId, Point)],
+        decisions: &mut Vec<Decision>,
+    ) {
+        (**self).process_tick(time_s, observations, decisions);
     }
 
     fn name(&self) -> &str {
@@ -59,8 +84,14 @@ impl IdealPolicy {
 }
 
 impl FilterPolicy for IdealPolicy {
-    fn process_tick(&mut self, _time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision> {
-        vec![Decision::Sent; observations.len()]
+    fn process_tick(
+        &mut self,
+        _time_s: f64,
+        observations: &[(MnId, Point)],
+        decisions: &mut Vec<Decision>,
+    ) {
+        decisions.clear();
+        decisions.resize(observations.len(), Decision::Sent);
     }
 
     fn name(&self) -> &str {
@@ -132,7 +163,12 @@ impl GeneralDistanceFilter {
 }
 
 impl FilterPolicy for GeneralDistanceFilter {
-    fn process_tick(&mut self, time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision> {
+    fn process_tick(
+        &mut self,
+        time_s: f64,
+        observations: &[(MnId, Point)],
+        decisions: &mut Vec<Decision>,
+    ) {
         self.tick += 1;
         // Update the global velocity statistic from per-node displacements.
         for (node, pos) in observations {
@@ -146,17 +182,15 @@ impl FilterPolicy for GeneralDistanceFilter {
         }
         let dth = self.global_dth();
         let reference = self.reference;
-        observations
-            .iter()
-            .map(|(node, pos)| {
-                let f = self
-                    .filters
-                    .entry(*node)
-                    .or_insert_with(|| DistanceFilter::with_reference(0.0, reference));
-                f.set_dth(dth);
-                f.observe(*pos)
-            })
-            .collect()
+        decisions.clear();
+        decisions.extend(observations.iter().map(|(node, pos)| {
+            let f = self
+                .filters
+                .entry(*node)
+                .or_insert_with(|| DistanceFilter::with_reference(0.0, reference));
+            f.set_dth(dth);
+            f.observe(*pos)
+        }));
     }
 
     fn name(&self) -> &str {
@@ -195,7 +229,7 @@ struct AdfNodeState {
 /// let walker = MnId::new(0);
 /// for t in 0..20 {
 ///     let obs = [(walker, Point::new(1.5 * t as f64, 0.0))];
-///     adf.process_tick(t as f64, &obs);
+///     adf.decide_tick(t as f64, &obs);
 /// }
 /// // After warmup the walker has a positive, velocity-proportional DTH.
 /// assert!(adf.dth_for(walker).unwrap() > 0.0);
@@ -320,7 +354,12 @@ impl AdaptiveDistanceFilter {
 }
 
 impl FilterPolicy for AdaptiveDistanceFilter {
-    fn process_tick(&mut self, time_s: f64, observations: &[(MnId, Point)]) -> Vec<Decision> {
+    fn process_tick(
+        &mut self,
+        time_s: f64,
+        observations: &[(MnId, Point)],
+        decisions: &mut Vec<Decision>,
+    ) {
         self.tick += 1;
 
         // Step (3): acquire locations; update per-node motion history.
@@ -355,10 +394,11 @@ impl FilterPolicy for AdaptiveDistanceFilter {
         }
 
         // Steps (4)/(5): distance-filter each observation.
-        observations
-            .iter()
-            .map(|(node, pos)| self.node_state(*node).filter.observe(*pos))
-            .collect()
+        decisions.clear();
+        for (node, pos) in observations {
+            let decision = self.node_state(*node).filter.observe(*pos);
+            decisions.push(decision);
+        }
     }
 
     fn name(&self) -> &str {
@@ -384,7 +424,7 @@ mod tests {
     #[test]
     fn ideal_policy_sends_everything() {
         let mut p = IdealPolicy::new();
-        let decisions = p.process_tick(0.0, &obs(&[(0, 0.0, 0.0), (1, 5.0, 5.0)]));
+        let decisions = p.decide_tick(0.0, &obs(&[(0, 0.0, 0.0), (1, 5.0, 5.0)]));
         assert!(decisions.iter().all(|d| d.is_sent()));
         assert_eq!(p.name(), "ideal");
     }
@@ -395,7 +435,7 @@ mod tests {
         // One slow node (1 m/s), one fast (9 m/s): global mean 5 m/s.
         for t in 0..10u64 {
             let t_f = t as f64;
-            let decisions = p.process_tick(t_f, &obs(&[(0, t_f, 0.0), (1, 9.0 * t_f, 100.0)]));
+            let decisions = p.decide_tick(t_f, &obs(&[(0, t_f, 0.0), (1, 9.0 * t_f, 100.0)]));
             if t == 0 {
                 assert!(decisions.iter().all(|d| d.is_sent()));
             }
@@ -415,7 +455,7 @@ mod tests {
         let mut p = AdaptiveDistanceFilter::new(cfg).unwrap();
         for t in 0..4u64 {
             let t_f = t as f64;
-            let decisions = p.process_tick(t_f, &obs(&[(0, 1.0 * t_f, 0.0)]));
+            let decisions = p.decide_tick(t_f, &obs(&[(0, 1.0 * t_f, 0.0)]));
             assert!(decisions[0].is_sent(), "tick {t} filtered during warmup");
         }
     }
@@ -426,7 +466,7 @@ mod tests {
         // Two walkers at ~1 m/s and two vehicles at ~8 m/s.
         for t in 0..20u64 {
             let t_f = t as f64;
-            p.process_tick(
+            p.decide_tick(
                 t_f,
                 &obs(&[
                     (0, 1.0 * t_f, 0.0),
@@ -454,7 +494,7 @@ mod tests {
         for t in 0..30u64 {
             let t_f = t as f64;
             // One mover keeps the global average positive; one node parked.
-            let decisions = p.process_tick(t_f, &obs(&[(0, 2.0 * t_f, 0.0), (1, 50.0, 50.0)]));
+            let decisions = p.decide_tick(t_f, &obs(&[(0, 2.0 * t_f, 0.0), (1, 50.0, 50.0)]));
             if t >= 6 && decisions[1].is_sent() {
                 sent_after_warmup += 1;
             }
@@ -472,7 +512,7 @@ mod tests {
                 let t_f = t as f64;
                 // A walker moving at 1 m/s with slight speed wobble.
                 let x = t_f + 0.3 * (t_f * 0.7).sin();
-                for d in p.process_tick(t_f, &obs(&[(0, x, 0.0)])) {
+                for d in p.decide_tick(t_f, &obs(&[(0, x, 0.0)])) {
                     if d.is_sent() {
                         sent += 1;
                     }
@@ -498,12 +538,12 @@ mod tests {
         // Walk for 30 ticks...
         for t in 0..30u64 {
             let t_f = t as f64;
-            p.process_tick(t_f, &obs(&[(0, 1.5 * t_f, 0.0)]));
+            p.decide_tick(t_f, &obs(&[(0, 1.5 * t_f, 0.0)]));
         }
         assert_eq!(p.pattern_of(MnId::new(0)), Some(MobilityPattern::Linear));
         // ...then stop for 30 ticks: the periodic reclustering must notice.
         for t in 30..60u64 {
-            p.process_tick(t as f64, &obs(&[(0, 1.5 * 29.0, 0.0)]));
+            p.decide_tick(t as f64, &obs(&[(0, 1.5 * 29.0, 0.0)]));
         }
         assert_eq!(p.pattern_of(MnId::new(0)), Some(MobilityPattern::Stop));
     }

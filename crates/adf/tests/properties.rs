@@ -2,13 +2,15 @@
 
 use mobigrid_adf::{
     AdaptiveDistanceFilter, AdfConfig, DistanceFilter, FilterPolicy, FilterReference,
-    MobilityClassifier, RegionTally,
+    MobileGridSim, MobileNode, MobilityClassifier, RegionTally, SimBuilder,
 };
-use mobigrid_campus::RegionKind;
-use mobigrid_geo::{Point, Vec2};
-use mobigrid_mobility::MobilityPattern;
+use mobigrid_campus::{RegionId, RegionKind};
+use mobigrid_geo::{Point, Polyline, Vec2};
+use mobigrid_mobility::{LoopMode, MobilityPattern, NodeType, PathFollower, StopModel};
 use mobigrid_wireless::MnId;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn trajectory() -> impl Strategy<Value = Vec<Point>> {
     // Random walks with bounded per-step displacement.
@@ -129,7 +131,7 @@ proptest! {
                     (MnId::new(i as u32), *p)
                 })
                 .collect();
-            let decisions = adf.process_tick(t as f64, &obs);
+            let decisions = adf.decide_tick(t as f64, &obs);
             prop_assert_eq!(decisions.len(), obs.len());
             for (id, _) in &obs {
                 let dth = adf.dth_for(*id).expect("observed node has a threshold");
@@ -149,7 +151,7 @@ proptest! {
             for t in 1..=ticks {
                 x += 1.5 + (t.wrapping_mul(seed) % 3) as f64 * 0.1;
                 let obs = [(MnId::new(0), Point::new(x, 0.0))];
-                sent.push(adf.process_tick(t as f64, &obs)[0].is_sent());
+                sent.push(adf.decide_tick(t as f64, &obs)[0].is_sent());
             }
             sent
         };
@@ -218,5 +220,89 @@ proptest! {
         let mut ba = tb;
         ba.merge(&ta);
         prop_assert_eq!(ab, ba);
+    }
+}
+
+/// Builds a deterministic synthetic population: a mix of ping-pong walkers
+/// and parked nodes, fully determined by `(node_count, seed)`.
+fn synthetic_population(node_count: usize, seed: u64) -> Vec<MobileNode> {
+    (0..node_count as u32)
+        .map(|i| {
+            let rng = StdRng::seed_from_u64(seed ^ u64::from(i));
+            if i % 3 == 2 {
+                MobileNode::new(
+                    MnId::new(i),
+                    RegionId::from_index(0),
+                    RegionKind::Building,
+                    NodeType::Human,
+                    MobilityPattern::Stop,
+                    Box::new(StopModel::new(Point::new(500.0, f64::from(i) * 7.0))),
+                    rng,
+                )
+            } else {
+                let y = f64::from(i) * 9.0;
+                let path = Polyline::new(vec![Point::new(0.0, y), Point::new(800.0, y)])
+                    .expect("two distinct points");
+                let speed = 0.5 + f64::from((i.wrapping_mul(7)) % 6);
+                MobileNode::new(
+                    MnId::new(i),
+                    RegionId::from_index(6),
+                    RegionKind::Road,
+                    NodeType::Human,
+                    MobilityPattern::Linear,
+                    Box::new(PathFollower::new(path, speed, LoopMode::PingPong)),
+                    rng,
+                )
+            }
+        })
+        .collect()
+}
+
+fn synthetic_sim(node_count: usize, seed: u64, threads: usize) -> MobileGridSim {
+    SimBuilder::new()
+        .nodes(synthetic_population(node_count, seed))
+        .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid"))
+        .threads(threads)
+        .build()
+        .expect("valid simulation")
+}
+
+proptest! {
+    /// Reusing the tick scratch leaves no residue between ticks or between
+    /// `run` calls: stepping one simulation `a + b` ticks in two bursts
+    /// produces the same per-tick statistics stream as one fresh build
+    /// stepped `a + b` ticks straight through. Node counts deliberately
+    /// straddle multiples of the 64-node shard size, so ragged final
+    /// shards reuse the same buffers as full ones.
+    #[test]
+    fn scratch_reuse_is_invisible_in_tick_stats(
+        node_count in 1usize..150,
+        seed in any::<u64>(),
+        a in 1u64..30,
+        b in 1u64..30,
+    ) {
+        let mut fresh = synthetic_sim(node_count, seed, 1);
+        let straight = fresh.run(a + b);
+
+        let mut bursty = synthetic_sim(node_count, seed, 1);
+        let mut stream = bursty.run(a);
+        stream.extend(bursty.run(b));
+
+        prop_assert_eq!(straight, stream);
+    }
+
+    /// The thread count is invisible in the results for arbitrary
+    /// populations, including those not divisible by the shard size: the
+    /// scratch buffers are carved into the same per-shard slices however
+    /// many workers execute them.
+    #[test]
+    fn thread_count_is_invisible_for_arbitrary_populations(
+        node_count in 1usize..150,
+        seed in any::<u64>(),
+        ticks in 1u64..40,
+    ) {
+        let serial = synthetic_sim(node_count, seed, 1).run(ticks);
+        let threaded = synthetic_sim(node_count, seed, 3).run(ticks);
+        prop_assert_eq!(serial, threaded);
     }
 }

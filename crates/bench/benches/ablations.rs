@@ -153,7 +153,7 @@ fn ablation_classifier_window() {
                     (n.id(), p)
                 })
                 .collect();
-            adf.process_tick(t as f64, &obs);
+            adf.decide_tick(t as f64, &obs);
         }
         let mut correct = 0usize;
         for n in &nodes {

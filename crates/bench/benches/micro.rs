@@ -145,6 +145,29 @@ fn bench_full_sim_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// Steady-state tick: the same pipelines as `tick_throughput`, but warmed
+/// past first-contact registrations, classifier-window fill and the scratch
+/// buffers' high-water marks before measurement begins. Post-warmup the
+/// single-threaded tick path performs zero heap allocations (pinned by
+/// `tests/zero_alloc.rs`), so this group is the honest per-tick cost of a
+/// long campaign — `BENCH_tick.json`'s `steady_state` series.
+fn bench_steady_state_tick(c: &mut Criterion) {
+    const WARMUP_TICKS: u64 = 60;
+    let mut g = c.benchmark_group("steady_state");
+    g.sample_size(20);
+    g.bench_function("campus_140_node_tick_warm", |b| {
+        let mut sim = build_adf_sim(11, 1.0);
+        sim.run(WARMUP_TICKS);
+        b.iter(|| black_box(sim.step()));
+    });
+    g.bench_function("city_1140_node_tick_warm", |b| {
+        let mut sim = build_city_sim(11, (8, 8), 1);
+        sim.run(WARMUP_TICKS);
+        b.iter(|| black_box(sim.step()));
+    });
+    g.finish();
+}
+
 /// Tick throughput across the population × thread-count matrix: the paper's
 /// 140-node campus and an 1140-node 8×8 grid city, each at 1–8 worker
 /// threads. Results are bit-identical across the thread axis; only
@@ -178,6 +201,7 @@ criterion_group!(
     bench_event_queue,
     bench_hla_update_reflect,
     bench_full_sim_tick,
+    bench_steady_state_tick,
     bench_tick_throughput
 );
 criterion_main!(micro);

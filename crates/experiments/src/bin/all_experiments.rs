@@ -13,7 +13,7 @@ fn main() {
 
     println!("{}", table1::compute());
 
-    let data = campaign::run_campaign(&cfg);
+    let data = campaign::run_campaign_parallel(&cfg);
     println!("{}", fig4::compute(&data));
     println!("{}", fig5::compute(&data));
     println!("{}", fig6::compute(&data));

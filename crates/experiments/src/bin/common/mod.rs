@@ -1,9 +1,12 @@
 //! Shared CLI handling for the experiment binaries.
 //!
-//! Usage: `<bin> [--ticks N] [--seed S] [--threads T] [--csv]` — defaults
-//! to the paper's 1800 s run with seed 42, a single worker thread and
-//! human-readable text output. `--threads` only changes wall-clock time:
-//! simulation results are bit-identical for every thread count.
+//! Usage: `<bin> [--ticks N] [--seed S] [--threads T]
+//! [--campaign-threads C] [--csv]` — defaults to the paper's 1800 s run
+//! with seed 42, a single worker thread and human-readable text output.
+//! `--threads` parallelizes the tick phases within one run;
+//! `--campaign-threads` runs whole campaign runs (ideal + each DTH factor)
+//! concurrently. Both only change wall-clock time: simulation results are
+//! bit-identical for every thread count.
 
 use mobigrid_experiments::config::ExperimentConfig;
 
@@ -18,8 +21,8 @@ pub struct Cli {
     pub csv: bool,
 }
 
-/// Parses `--ticks`, `--seed`, `--threads` and `--csv` from the process
-/// arguments.
+/// Parses `--ticks`, `--seed`, `--threads`, `--campaign-threads` and
+/// `--csv` from the process arguments.
 ///
 /// # Panics
 ///
@@ -39,9 +42,15 @@ pub fn parse_cli() -> Cli {
             "--ticks" => config.duration_ticks = take("--ticks"),
             "--seed" => config.seed = take("--seed"),
             "--threads" => config.threads = take("--threads").max(1) as usize,
+            "--campaign-threads" => {
+                config.campaign_threads = take("--campaign-threads").max(1) as usize;
+            }
             "--csv" => csv = true,
             other => {
-                panic!("unknown flag {other}; usage: [--ticks N] [--seed S] [--threads T] [--csv]")
+                panic!(
+                    "unknown flag {other}; usage: [--ticks N] [--seed S] \
+                     [--threads T] [--campaign-threads C] [--csv]"
+                )
             }
         }
     }

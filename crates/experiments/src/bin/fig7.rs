@@ -8,7 +8,7 @@ use mobigrid_experiments::{campaign, fig7};
 
 fn main() {
     let cli = common::parse_cli();
-    let data = campaign::run_campaign(&cli.config);
+    let data = campaign::run_campaign_parallel(&cli.config);
     let fig = fig7::compute(&data);
     if cli.csv {
         print!("{}", fig.to_csv());

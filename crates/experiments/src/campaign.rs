@@ -6,6 +6,7 @@ use mobigrid_adf::{
     MobileGridSim, RegionTally, SimBuilder, TickStats,
 };
 use mobigrid_campus::Campus;
+use mobigrid_sim::par::ShardPool;
 
 use crate::config::ExperimentConfig;
 use crate::workload;
@@ -34,7 +35,7 @@ impl PolicySpec {
 }
 
 /// The raw outcome of one policy run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The policy's report label.
     pub label: String,
@@ -130,7 +131,7 @@ pub fn run_policy(cfg: &ExperimentConfig, spec: PolicySpec) -> RunResult {
 
 /// All the data the figures need: one ideal run plus one ADF run per DTH
 /// factor.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignData {
     /// The configuration that produced this data.
     pub config: ExperimentConfig,
@@ -140,7 +141,7 @@ pub struct CampaignData {
     pub adf: Vec<(f64, RunResult)>,
 }
 
-/// Runs the ideal baseline and every configured ADF factor.
+/// Runs the ideal baseline and every configured ADF factor, serially.
 #[must_use]
 pub fn run_campaign(cfg: &ExperimentConfig) -> CampaignData {
     let ideal = run_policy(cfg, PolicySpec::Ideal);
@@ -149,6 +150,33 @@ pub fn run_campaign(cfg: &ExperimentConfig) -> CampaignData {
         .iter()
         .map(|&f| (f, run_policy(cfg, PolicySpec::Adf(f))))
         .collect();
+    CampaignData {
+        config: cfg.clone(),
+        ideal,
+        adf,
+    }
+}
+
+/// Runs the campaign with its runs (the ideal baseline plus one per DTH
+/// factor) fanned out across `cfg.campaign_threads` workers.
+///
+/// Each run is an independent simulation built from the same seed, and the
+/// [`ShardPool`] hands results back in submission order, so the returned
+/// [`CampaignData`] is **bit-identical** to [`run_campaign`]'s for every
+/// thread count — `campaign_threads: 1` literally executes the same serial
+/// sequence inline. This is the campaign-level analogue of the tick-level
+/// `threads` knob: ticks within one run parallelize with `threads`, whole
+/// runs parallelize with `campaign_threads`, and the two compose.
+#[must_use]
+pub fn run_campaign_parallel(cfg: &ExperimentConfig) -> CampaignData {
+    let mut specs = Vec::with_capacity(cfg.dth_factors.len() + 1);
+    specs.push(PolicySpec::Ideal);
+    specs.extend(cfg.dth_factors.iter().map(|&f| PolicySpec::Adf(f)));
+    let mut results = ShardPool::new(cfg.campaign_threads)
+        .run(specs, |_, spec| run_policy(cfg, spec))
+        .into_iter();
+    let ideal = results.next().expect("the ideal run always executes");
+    let adf = cfg.dth_factors.iter().copied().zip(results).collect();
     CampaignData {
         config: cfg.clone(),
         ideal,
@@ -209,6 +237,20 @@ mod tests {
         for ((_, x), (_, y)) in a.adf.iter().zip(&b.adf) {
             assert_eq!(x.total_sent(), y.total_sent());
             assert_eq!(x.mean_rmse(), y.mean_rmse());
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_serial() {
+        let serial = run_campaign(&quick());
+        for campaign_threads in [1, 2, 4] {
+            let cfg = ExperimentConfig {
+                campaign_threads,
+                ..quick()
+            };
+            let parallel = run_campaign_parallel(&cfg);
+            assert_eq!(parallel.ideal, serial.ideal);
+            assert_eq!(parallel.adf, serial.adf);
         }
     }
 

@@ -23,6 +23,11 @@ pub struct ExperimentConfig {
     /// Results are bit-identical for every value — see
     /// [`mobigrid_adf::SimBuilder::threads`].
     pub threads: usize,
+    /// Worker threads for running whole campaign runs (the ideal baseline
+    /// plus one run per DTH factor) concurrently (default 1 = serial).
+    /// Results are bit-identical for every value — see
+    /// [`crate::campaign::run_campaign_parallel`].
+    pub campaign_threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -35,6 +40,7 @@ impl Default for ExperimentConfig {
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             with_network: true,
             threads: 1,
+            campaign_threads: 1,
         }
     }
 }

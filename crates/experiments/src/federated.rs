@@ -159,7 +159,7 @@ pub fn run_federated_adf(cfg: &ExperimentConfig, dth_factor: f64) -> FederatedRe
                 observations.push((lu.node, lu.position));
             }
         }
-        let decisions = policy.process_tick(time_s, &observations);
+        let decisions = policy.decide_tick(time_s, &observations);
         let mut sent = 0u32;
         for ((node, pos), decision) in observations.iter().zip(&decisions) {
             if decision.is_sent() {

@@ -64,7 +64,7 @@ pub fn measure_intervals(cfg: &ExperimentConfig, factor: f64) -> IntervalReport 
                 (n.id(), p)
             })
             .collect();
-        let decisions = policy.process_tick(time_s, &obs);
+        let decisions = policy.decide_tick(time_s, &obs);
         for (node, decision) in nodes.iter().zip(&decisions) {
             if decision.is_sent() {
                 let idx = node.id().index();

@@ -75,18 +75,44 @@ impl ShardPool {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        let mut out = Vec::with_capacity(shards.len());
+        self.run_into(shards, &mut out, f);
+        out
+    }
+
+    /// Like [`ShardPool::run`], but takes the shards as an exact-size
+    /// iterator and writes the results into `out` (cleared first, shard
+    /// order), reusing `out`'s existing capacity.
+    ///
+    /// This is the steady-state building block: with `threads == 1` the
+    /// shards run inline on the caller's thread and — once `out` has grown
+    /// to its high-water capacity — the call performs **no heap
+    /// allocations**. With more threads the call allocates transient stripe
+    /// and result scaffolding (thread spawning dwarfs that cost anyway);
+    /// results are still bit-identical to the inline path.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any shard closure.
+    pub fn run_into<I, R, F>(&self, shards: I, out: &mut Vec<R>, f: F)
+    where
+        I: IntoIterator,
+        I::IntoIter: ExactSizeIterator,
+        I::Item: Send,
+        R: Send,
+        F: Fn(usize, I::Item) -> R + Sync,
+    {
+        out.clear();
+        let shards = shards.into_iter();
         let n = shards.len();
         if self.threads == 1 || n <= 1 {
-            return shards
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| f(i, s))
-                .collect();
+            out.extend(shards.enumerate().map(|(i, s)| f(i, s)));
+            return;
         }
 
         let workers = self.threads.min(n);
-        let mut stripes: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, shard) in shards.into_iter().enumerate() {
+        let mut stripes: Vec<Vec<(usize, I::Item)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, shard) in shards.enumerate() {
             stripes[i % workers].push((i, shard));
         }
 
@@ -103,17 +129,36 @@ impl ShardPool {
                     })
                 })
                 .collect();
-            let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
             for handle in handles {
                 for (i, r) in handle.join().expect("shard worker panicked") {
-                    out[i] = Some(r);
+                    slots[i] = Some(r);
                 }
             }
-            out.into_iter()
-                .map(|r| r.expect("every shard produces exactly one result"))
-                .collect()
+            out.extend(
+                slots
+                    .into_iter()
+                    .map(|r| r.expect("every shard produces exactly one result")),
+            );
         })
-        .expect("shard scope panicked")
+        .expect("shard scope panicked");
+    }
+
+    /// Executes `f(shard_index, shard)` for every shard, discarding results.
+    ///
+    /// For phases whose output is written *in place* through mutable slices
+    /// carried inside the shard values. The unit results accumulate in a
+    /// zero-sized `Vec<()>`, which never touches the heap, so with
+    /// `threads == 1` this is completely allocation-free.
+    pub fn for_each<I, F>(&self, shards: I, f: F)
+    where
+        I: IntoIterator,
+        I::IntoIter: ExactSizeIterator,
+        I::Item: Send,
+        F: Fn(usize, I::Item) + Sync,
+    {
+        let mut unit: Vec<()> = Vec::new();
+        self.run_into(shards, &mut unit, f);
     }
 }
 
@@ -167,6 +212,46 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(ShardPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn run_into_reuses_the_output_buffer() {
+        let pool = ShardPool::new(1);
+        let mut out: Vec<usize> = Vec::new();
+        pool.run_into(0..10usize, &mut out, |i, x| x + i);
+        assert_eq!(out, (0..10).map(|x| 2 * x).collect::<Vec<_>>());
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        pool.run_into(0..10usize, &mut out, |_, x| x);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(out.capacity(), cap, "capacity must be retained");
+        assert_eq!(out.as_ptr(), ptr, "buffer must not be reallocated");
+    }
+
+    #[test]
+    fn run_into_matches_run_across_thread_counts() {
+        let items: Vec<u64> = (0..37).collect();
+        let reference = ShardPool::new(1).run(items.clone(), |i, x| x * 3 + i as u64);
+        for threads in [1, 2, 4, 8] {
+            let mut out = Vec::new();
+            ShardPool::new(threads).run_into(items.clone(), &mut out, |i, x| x * 3 + i as u64);
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_writes_through_disjoint_slices() {
+        for threads in [1, 4] {
+            let mut data = vec![0u32; 300];
+            let pool = ShardPool::new(threads);
+            pool.for_each(data.chunks_mut(64).enumerate(), |_, (base, chunk)| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (base * 64 + off) as u32;
+                }
+            });
+            let expect: Vec<u32> = (0..300).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use mobigrid_geo::Point;
@@ -92,16 +92,32 @@ impl LocationUpdate {
         }
     }
 
-    /// Serialises to the fixed 32-byte big-endian wire format.
+    /// Serialises to the fixed 32-byte big-endian wire format in a freshly
+    /// allocated buffer. Hot paths should prefer
+    /// [`LocationUpdate::encode_into`], which writes into caller-provided
+    /// (typically stack) storage.
     #[must_use]
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(Self::WIRE_SIZE);
-        buf.put_u32(self.node.raw());
-        buf.put_u32(self.seq);
-        buf.put_f64(self.time_s);
-        buf.put_f64(self.position.x);
-        buf.put_f64(self.position.y);
+        buf.put_slice(&self.encode_to_array());
         buf.freeze()
+    }
+
+    /// Serialises into a caller-provided frame buffer — no heap traffic.
+    pub fn encode_into(&self, frame: &mut [u8; Self::WIRE_SIZE]) {
+        frame[0..4].copy_from_slice(&self.node.raw().to_be_bytes());
+        frame[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        frame[8..16].copy_from_slice(&self.time_s.to_be_bytes());
+        frame[16..24].copy_from_slice(&self.position.x.to_be_bytes());
+        frame[24..32].copy_from_slice(&self.position.y.to_be_bytes());
+    }
+
+    /// Serialises to a stack-allocated wire frame.
+    #[must_use]
+    pub fn encode_to_array(&self) -> [u8; Self::WIRE_SIZE] {
+        let mut frame = [0u8; Self::WIRE_SIZE];
+        self.encode_into(&mut frame);
+        frame
     }
 
     /// Parses a frame produced by [`LocationUpdate::encode`].
@@ -110,23 +126,36 @@ impl LocationUpdate {
     ///
     /// Returns [`WirelessError::MalformedFrame`] for frames shorter than
     /// [`LocationUpdate::WIRE_SIZE`].
-    pub fn decode(mut frame: &[u8]) -> Result<Self, WirelessError> {
+    pub fn decode(frame: &[u8]) -> Result<Self, WirelessError> {
+        Self::decode_from(frame)
+    }
+
+    /// Zero-copy parse of a borrowed wire frame: reads the fields straight
+    /// out of the slice without an owned intermediate buffer. Trailing
+    /// bytes beyond [`LocationUpdate::WIRE_SIZE`] are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirelessError::MalformedFrame`] for frames shorter than
+    /// [`LocationUpdate::WIRE_SIZE`].
+    pub fn decode_from(frame: &[u8]) -> Result<Self, WirelessError> {
         if frame.len() < Self::WIRE_SIZE {
             return Err(WirelessError::MalformedFrame {
                 got: frame.len(),
                 needed: Self::WIRE_SIZE,
             });
         }
-        let node = MnId::new(frame.get_u32());
-        let seq = frame.get_u32();
-        let time_s = frame.get_f64();
-        let x = frame.get_f64();
-        let y = frame.get_f64();
+        let be_u32 = |r: std::ops::Range<usize>| {
+            u32::from_be_bytes(frame[r].try_into().expect("4-byte field"))
+        };
+        let be_f64 = |r: std::ops::Range<usize>| {
+            f64::from_be_bytes(frame[r].try_into().expect("8-byte field"))
+        };
         Ok(LocationUpdate {
-            node,
-            time_s,
-            position: Point::new(x, y),
-            seq,
+            node: MnId::new(be_u32(0..4)),
+            seq: be_u32(4..8),
+            time_s: be_f64(8..16),
+            position: Point::new(be_f64(16..24), be_f64(24..32)),
         })
     }
 }
@@ -157,10 +186,31 @@ mod tests {
 
     #[test]
     fn decode_ignores_trailing_bytes() {
+        // Zero-copy path: encode into a stack frame with trailing garbage,
+        // decode straight from the borrowed slice — no owned round-trip.
         let lu = LocationUpdate::new(MnId::new(1), 1.0, Point::new(2.0, 3.0), 4);
-        let mut wire = lu.encode().to_vec();
-        wire.extend_from_slice(&[0xFF; 8]);
-        assert_eq!(LocationUpdate::decode(&wire).unwrap(), lu);
+        let mut wire = [0xFFu8; LocationUpdate::WIRE_SIZE + 8];
+        lu.encode_into(
+            (&mut wire[..LocationUpdate::WIRE_SIZE])
+                .try_into()
+                .expect("frame-sized prefix"),
+        );
+        assert_eq!(LocationUpdate::decode_from(&wire).unwrap(), lu);
+    }
+
+    #[test]
+    fn stack_and_heap_encodings_agree() {
+        let lu = LocationUpdate::new(MnId::new(77), 123.5, Point::new(-1.25, 9e3), 6);
+        assert_eq!(lu.encode_to_array().as_slice(), lu.encode().as_ref());
+        assert_eq!(
+            LocationUpdate::decode_from(&lu.encode_to_array()).unwrap(),
+            LocationUpdate::decode(&lu.encode()).unwrap()
+        );
+        // Short frames fail identically through both entry points.
+        assert_eq!(
+            LocationUpdate::decode_from(&[0u8; 31]).unwrap_err(),
+            LocationUpdate::decode(&[0u8; 31]).unwrap_err()
+        );
     }
 
     #[test]

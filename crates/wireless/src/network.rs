@@ -210,6 +210,11 @@ impl AccessNetwork {
     /// Transmits a location update from its reported position, returning the
     /// gateway that carried it.
     ///
+    /// The update crosses the air interface as its wire encoding: it is
+    /// serialised into a stack frame and parsed back zero-copy with
+    /// [`LocationUpdate::decode_from`], so routing and accounting see
+    /// exactly what the wire carries and the path never touches the heap.
+    ///
     /// Counts the frame in the aggregate and per-gateway meters and records
     /// a handoff when the node's association changed.
     ///
@@ -218,18 +223,17 @@ impl AccessNetwork {
     /// Returns [`WirelessError::NoCoverage`] (and counts a drop) when no
     /// gateway covers the position.
     pub fn transmit(&mut self, lu: &LocationUpdate) -> Result<GatewayId, WirelessError> {
-        let Some(gw) = self
-            .best_gateway_at(lu.position, lu.time_s)
-            .map(Gateway::id)
-        else {
+        let mut frame = [0u8; LocationUpdate::WIRE_SIZE];
+        lu.encode_into(&mut frame);
+        let lu = LocationUpdate::decode_from(&frame).expect("self-encoded frame is well-formed");
+        let Some(gw) = self.best_gateway_at(lu.position, lu.time_s).map(Gateway::id) else {
             self.dropped += 1;
             return Err(WirelessError::NoCoverage {
                 position: lu.position,
             });
         };
-        let frame_len = lu.encode().len();
-        self.meter.count(frame_len);
-        self.per_gateway[gw.index()].count(frame_len);
+        self.meter.count(frame.len());
+        self.per_gateway[gw.index()].count(frame.len());
         match self.associations.insert(lu.node, gw) {
             Some(prev) if prev != gw => self.handoffs += 1,
             _ => {}

@@ -2,7 +2,8 @@
 //! public API of the umbrella crate.
 
 use mobigrid::adf::{
-    AdaptiveDistanceFilter, AdfConfig, EstimatorKind, IdealPolicy, SimBuilder, TickStats,
+    AdaptiveDistanceFilter, AdfConfig, EstimatorKind, IdealPolicy, MobileNode, SimBuilder,
+    TickStats,
 };
 use mobigrid::campus::Campus;
 use mobigrid::experiments::workload;
@@ -131,9 +132,15 @@ fn nodes_stay_inside_their_home_regions() {
 }
 
 #[test]
-fn ground_truth_traces_are_recorded() {
+fn ground_truth_traces_are_recorded_when_opted_in() {
+    // Trace recording is off by default (the steady-state tick path is
+    // allocation-free); analyses that want ground-truth traces opt in
+    // per node.
     let campus = Campus::inha_like();
-    let nodes = workload::generate_population(&campus, 4);
+    let nodes: Vec<_> = workload::generate_population(&campus, 4)
+        .into_iter()
+        .map(MobileNode::with_trace_recording)
+        .collect();
     let mut sim = SimBuilder::new()
         .nodes(nodes)
         .policy(IdealPolicy::new())
@@ -143,5 +150,20 @@ fn ground_truth_traces_are_recorded() {
     for node in sim.nodes() {
         assert_eq!(node.trace().len(), 50);
         assert!((node.trace().duration() - 49.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn traces_stay_empty_by_default() {
+    let campus = Campus::inha_like();
+    let nodes = workload::generate_population(&campus, 4);
+    let mut sim = SimBuilder::new()
+        .nodes(nodes)
+        .policy(IdealPolicy::new())
+        .build()
+        .expect("valid simulation");
+    sim.run(50);
+    for node in sim.nodes() {
+        assert!(node.trace().is_empty());
     }
 }
