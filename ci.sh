@@ -10,11 +10,20 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo test -p mobigrid-wireless"
+cargo test -q -p mobigrid-wireless
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo test -p mobigrid-bench --test zero_alloc"
 cargo test -p mobigrid-bench --test zero_alloc
+
+echo "==> cargo test -p mobigrid-experiments --test golden_trace"
+cargo test -q -p mobigrid-experiments --test golden_trace
+
+echo "==> fault_matrix smoke"
+cargo run --release -p mobigrid-experiments --bin fault_matrix -- --ticks 60 > /dev/null
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run

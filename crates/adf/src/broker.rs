@@ -106,26 +106,71 @@ pub struct LocationRecord {
     pub estimated: bool,
 }
 
+/// How many consecutive losses it takes to halve the broker's trust in
+/// pure extrapolation (see [`NodeSlot::note_lost`]).
+const STALENESS_TRUST_WINDOW: f64 = 8.0;
+
+/// The last update actually received from a node — the dedup/ordering key
+/// and the degradation anchor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LastRx {
+    time_s: f64,
+    seq: u32,
+    position: Point,
+}
+
+/// What [`NodeSlot::receive`] did with an incoming update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RxOutcome {
+    /// Stored and fed to the estimator; `fresh` marks the node's first
+    /// record.
+    Accepted { fresh: bool },
+    /// An exact copy of the last accepted update (a channel duplicate) —
+    /// ignored, protecting the estimator's monotone-time contract.
+    Duplicate,
+    /// Older than the last accepted update (a reordered late frame) —
+    /// ignored.
+    Stale,
+}
+
 /// Everything the broker tracks for one node, stored densely by `MnId`
-/// index: the current belief, the per-node estimator and the registration
-/// anchor.
+/// index: the current belief, the per-node estimator, the registration
+/// anchor, plus the fault-tolerance state (last receipt and staleness).
 #[derive(Default)]
 struct NodeSlot {
     record: Option<LocationRecord>,
     estimator: Option<Box<dyn PositionEstimator + Send>>,
     home_anchor: Option<Point>,
+    last_rx: Option<LastRx>,
+    /// Consecutive expected-but-lost updates since the last receipt.
+    staleness: u32,
 }
 
 impl NodeSlot {
-    /// Ingests a received update. Returns `true` when this created the
-    /// node's first record.
-    fn receive(&mut self, kind: EstimatorKind, lu: &LocationUpdate) -> bool {
+    /// Ingests a received update, rejecting channel duplicates and
+    /// reordered stale frames before they can reach the estimator (whose
+    /// observation times must be non-decreasing).
+    fn receive(&mut self, kind: EstimatorKind, lu: &LocationUpdate) -> RxOutcome {
+        if let Some(rx) = &self.last_rx {
+            if lu.time_s == rx.time_s && lu.seq == rx.seq {
+                return RxOutcome::Duplicate;
+            }
+            if lu.time_s < rx.time_s {
+                return RxOutcome::Stale;
+            }
+        }
         let fresh = self.record.is_none();
         self.record = Some(LocationRecord {
             position: lu.position,
             time_s: lu.time_s,
             estimated: false,
         });
+        self.last_rx = Some(LastRx {
+            time_s: lu.time_s,
+            seq: lu.seq,
+            position: lu.position,
+        });
+        self.staleness = 0;
         let anchor = self.home_anchor;
         self.estimator
             .get_or_insert_with(|| {
@@ -136,7 +181,7 @@ impl NodeSlot {
                 est
             })
             .observe(lu.time_s, lu.position);
-        fresh
+        RxOutcome::Accepted { fresh }
     }
 
     /// Stores an estimate for a filtered update. Returns
@@ -147,6 +192,47 @@ impl NodeSlot {
         };
         let Some(position) = est.estimate(time_s) else {
             return (false, false);
+        };
+        let fresh = self.record.is_none();
+        self.record = Some(LocationRecord {
+            position,
+            time_s,
+            estimated: true,
+        });
+        (true, fresh)
+    }
+
+    /// Stores a *degraded* estimate for an update the broker expected but
+    /// never received (dropped, corrupted or still in flight).
+    ///
+    /// Unlike a filtered update — where the filter guarantees the node is
+    /// within its DTH of the last transmission — a lost update carries no
+    /// such bound, so blind extrapolation can run away (dead reckoning and
+    /// the Kalman filter extrapolate unboundedly through silences). The
+    /// slot therefore widens its trust window as staleness grows: the
+    /// stored belief is the estimator's extrapolation blended toward the
+    /// last *confirmed* fix with weight `W / (W + staleness - 1)`
+    /// (`W =` [`STALENESS_TRUST_WINDOW`]). The first loss trusts the
+    /// estimator fully; sustained silence decays smoothly back to the last
+    /// thing the node actually said.
+    fn note_lost(&mut self, time_s: f64) -> (bool, bool) {
+        self.staleness = self.staleness.saturating_add(1);
+        let Some(est) = &self.estimator else {
+            return (false, false);
+        };
+        let Some(extrapolated) = est.estimate(time_s) else {
+            return (false, false);
+        };
+        let position = match &self.last_rx {
+            Some(rx) => {
+                let trust = STALENESS_TRUST_WINDOW
+                    / (STALENESS_TRUST_WINDOW + f64::from(self.staleness - 1));
+                Point::new(
+                    rx.position.x + (extrapolated.x - rx.position.x) * trust,
+                    rx.position.y + (extrapolated.y - rx.position.y) * trust,
+                )
+            }
+            None => extrapolated,
         };
         let fresh = self.record.is_none();
         self.record = Some(LocationRecord {
@@ -168,6 +254,10 @@ pub struct BrokerDelta {
     pub estimated: u64,
     /// Nodes that gained their first record.
     pub fresh_records: u64,
+    /// Expected updates that never arrived (degraded estimates stored).
+    pub lost: u64,
+    /// Received frames rejected as duplicates or stale reorderings.
+    pub rejected: u64,
 }
 
 impl BrokerDelta {
@@ -177,6 +267,8 @@ impl BrokerDelta {
         self.received += other.received;
         self.estimated += other.estimated;
         self.fresh_records += other.fresh_records;
+        self.lost += other.lost;
+        self.rejected += other.rejected;
     }
 }
 
@@ -225,11 +317,16 @@ impl BrokerShard<'_> {
     }
 
     /// Ingests a received location update for a node in this shard.
+    /// Duplicate and stale frames are counted as rejected, not received.
     pub fn receive(&mut self, lu: &LocationUpdate) {
         let kind = self.kind;
-        let fresh = self.slot_mut(lu.node).receive(kind, lu);
-        self.delta.received += 1;
-        self.delta.fresh_records += u64::from(fresh);
+        match self.slot_mut(lu.node).receive(kind, lu) {
+            RxOutcome::Accepted { fresh } => {
+                self.delta.received += 1;
+                self.delta.fresh_records += u64::from(fresh);
+            }
+            RxOutcome::Duplicate | RxOutcome::Stale => self.delta.rejected += 1,
+        }
     }
 
     /// Notes a filtered update for a node in this shard: estimates and
@@ -238,6 +335,26 @@ impl BrokerShard<'_> {
         let (estimated, fresh) = self.slot_mut(node).note_filtered(time_s);
         self.delta.estimated += u64::from(estimated);
         self.delta.fresh_records += u64::from(fresh);
+    }
+
+    /// Notes an update that was sent but never arrived: stores a degraded
+    /// estimate, as [`GridBroker::note_lost`] does.
+    pub fn note_lost(&mut self, node: MnId, time_s: f64) {
+        let (estimated, fresh) = self.slot_mut(node).note_lost(time_s);
+        self.delta.lost += 1;
+        self.delta.estimated += u64::from(estimated);
+        self.delta.fresh_records += u64::from(fresh);
+    }
+
+    /// Number of nodes in this shard currently marked stale (at least one
+    /// consecutive loss since their last receipt).
+    #[must_use]
+    pub fn stale_count(&self) -> u32 {
+        let mut n = 0u32;
+        for slot in self.slots.iter() {
+            n += u32::from(slot.staleness > 0);
+        }
+        n
     }
 
     /// The shard's current belief about a node — a direct dense-slot read,
@@ -296,6 +413,8 @@ pub struct GridBroker {
     live_records: usize,
     received: u64,
     estimated: u64,
+    lost: u64,
+    rejected: u64,
 }
 
 impl std::fmt::Debug for GridBroker {
@@ -305,6 +424,8 @@ impl std::fmt::Debug for GridBroker {
             .field("nodes", &self.live_records)
             .field("received", &self.received)
             .field("estimated", &self.estimated)
+            .field("lost", &self.lost)
+            .field("rejected", &self.rejected)
             .finish()
     }
 }
@@ -323,6 +444,8 @@ impl GridBroker {
             live_records: 0,
             received: 0,
             estimated: 0,
+            lost: 0,
+            rejected: 0,
         })
     }
 
@@ -355,13 +478,19 @@ impl GridBroker {
         self.kind
     }
 
-    /// Ingests a received location update.
+    /// Ingests a received location update. Exact duplicates of the last
+    /// accepted update and frames older than it (channel reorderings) are
+    /// rejected and counted in [`GridBroker::rejected_count`].
     pub fn receive(&mut self, lu: &LocationUpdate) {
         self.ensure_nodes(lu.node.index() + 1);
         let kind = self.kind;
-        let fresh = self.slots[lu.node.index()].receive(kind, lu);
-        self.received += 1;
-        self.live_records += usize::from(fresh);
+        match self.slots[lu.node.index()].receive(kind, lu) {
+            RxOutcome::Accepted { fresh } => {
+                self.received += 1;
+                self.live_records += usize::from(fresh);
+            }
+            RxOutcome::Duplicate | RxOutcome::Stale => self.rejected += 1,
+        }
     }
 
     /// Notes that `node`'s update at `time_s` was filtered: estimates its
@@ -376,6 +505,29 @@ impl GridBroker {
         let (estimated, fresh) = slot.note_filtered(time_s);
         self.estimated += u64::from(estimated);
         self.live_records += usize::from(fresh);
+    }
+
+    /// Notes that `node`'s update at `time_s` was sent but never arrived
+    /// (dropped, corrupted or delayed past this tick): stores a degraded
+    /// estimate whose trust in extrapolation shrinks with consecutive
+    /// losses, and bumps the node's staleness counter.
+    ///
+    /// A node never heard from has no estimator; only the staleness
+    /// bookkeeping happens then.
+    pub fn note_lost(&mut self, node: MnId, time_s: f64) {
+        self.ensure_nodes(node.index() + 1);
+        let slot = &mut self.slots[node.index()];
+        let (estimated, fresh) = slot.note_lost(time_s);
+        self.lost += 1;
+        self.estimated += u64::from(estimated);
+        self.live_records += usize::from(fresh);
+    }
+
+    /// Consecutive losses since `node`'s last accepted update (zero for a
+    /// healthy or unknown node).
+    #[must_use]
+    pub fn staleness(&self, node: MnId) -> u32 {
+        self.slots.get(node.index()).map_or(0, |s| s.staleness)
     }
 
     /// The broker's current belief about `node`.
@@ -425,6 +577,8 @@ impl GridBroker {
         self.received += delta.received;
         self.estimated += delta.estimated;
         self.live_records += delta.fresh_records as usize;
+        self.lost += delta.lost;
+        self.rejected += delta.rejected;
     }
 
     /// Number of nodes with a record in the location DB.
@@ -443,6 +597,18 @@ impl GridBroker {
     #[must_use]
     pub fn estimated_count(&self) -> u64 {
         self.estimated
+    }
+
+    /// Expected updates that never arrived (lost to the channel).
+    #[must_use]
+    pub fn lost_count(&self) -> u64 {
+        self.lost
+    }
+
+    /// Received frames rejected as duplicates or stale reorderings.
+    #[must_use]
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
     }
 }
 
@@ -600,6 +766,123 @@ mod tests {
         assert_eq!(seq.node_count(), sharded.node_count());
         for node in 0..6u32 {
             assert_eq!(seq.location(MnId::new(node)), sharded.location(MnId::new(node)));
+        }
+    }
+
+    #[test]
+    fn duplicate_frames_are_rejected() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        let update = lu(1, 1.0, 2.0, 3.0);
+        b.receive(&update);
+        b.receive(&update); // channel duplicate: same time, same seq
+        assert_eq!(b.received_count(), 1);
+        assert_eq!(b.rejected_count(), 1);
+        assert!(!b.location(MnId::new(1)).unwrap().estimated);
+    }
+
+    #[test]
+    fn stale_frames_are_rejected() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        b.receive(&lu(1, 5.0, 10.0, 0.0));
+        // A delayed frame from t=2 arrives after the t=5 one: dropped, and
+        // the stored belief keeps the newer position.
+        b.receive(&lu(1, 2.0, 4.0, 0.0));
+        assert_eq!(b.received_count(), 1);
+        assert_eq!(b.rejected_count(), 1);
+        assert_eq!(b.location(MnId::new(1)).unwrap().position, Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn lost_updates_degrade_toward_last_receipt() {
+        // A node walking +2 m/s goes silent; the degraded estimate must sit
+        // between the last confirmed fix and the raw extrapolation, and move
+        // toward the fix as staleness grows.
+        let mut b = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        b.receive(&lu(1, 0.0, 0.0, 0.0));
+        b.receive(&lu(1, 1.0, 2.0, 0.0));
+        let last_rx_x = 2.0;
+
+        b.note_lost(MnId::new(1), 2.0);
+        let first = b.location(MnId::new(1)).unwrap();
+        assert!(first.estimated);
+        // staleness = 1 → trust = 1.0 → pure extrapolation (x = 4).
+        assert!((first.position.x - 4.0).abs() < 1e-9, "x = {}", first.position.x);
+        assert_eq!(b.staleness(MnId::new(1)), 1);
+
+        for k in 2..=10u32 {
+            b.note_lost(MnId::new(1), 1.0 + f64::from(k));
+        }
+        let later = b.location(MnId::new(1)).unwrap();
+        let raw_x = 2.0 + 2.0 * 10.0; // dead reckoning at t=11
+        assert_eq!(b.staleness(MnId::new(1)), 10);
+        assert!(later.position.x > last_rx_x && later.position.x < raw_x);
+        // trust = 8/(8+9): well under half the raw extrapolated offset.
+        let expected_x = last_rx_x + (raw_x - last_rx_x) * (8.0 / 17.0);
+        assert!((later.position.x - expected_x).abs() < 1e-9, "x = {}", later.position.x);
+        assert_eq!(b.lost_count(), 10);
+    }
+
+    #[test]
+    fn receive_resets_staleness() {
+        let mut b = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        b.receive(&lu(1, 0.0, 0.0, 0.0));
+        b.note_lost(MnId::new(1), 1.0);
+        b.note_lost(MnId::new(1), 2.0);
+        assert_eq!(b.staleness(MnId::new(1)), 2);
+        b.receive(&lu(1, 3.0, 6.0, 0.0));
+        assert_eq!(b.staleness(MnId::new(1)), 0);
+        assert!(!b.location(MnId::new(1)).unwrap().estimated);
+    }
+
+    #[test]
+    fn note_lost_on_unknown_node_only_tracks_staleness() {
+        let mut b = GridBroker::new(EstimatorKind::Brown { alpha: 0.5 }).unwrap();
+        b.note_lost(MnId::new(4), 1.0);
+        assert_eq!(b.location(MnId::new(4)), None);
+        assert_eq!(b.lost_count(), 1);
+        assert_eq!(b.estimated_count(), 0);
+        assert_eq!(b.staleness(MnId::new(4)), 1);
+    }
+
+    #[test]
+    fn shard_note_lost_matches_sequential() {
+        let mut seq = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        let mut sharded = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        sharded.ensure_nodes(4);
+
+        for t in 0..3 {
+            for node in 0..4u32 {
+                seq.receive(&lu(node, t as f64, f64::from(node) * t as f64, 0.0));
+            }
+        }
+        seq.note_lost(MnId::new(1), 3.0);
+        seq.note_lost(MnId::new(1), 4.0);
+        seq.note_lost(MnId::new(3), 3.0);
+
+        {
+            let mut shards = sharded.shard_views(2);
+            for t in 0..3 {
+                for node in 0..4u32 {
+                    let shard = &mut shards[node as usize / 2];
+                    shard.receive(&lu(node, t as f64, f64::from(node) * t as f64, 0.0));
+                }
+            }
+            shards[0].note_lost(MnId::new(1), 3.0);
+            shards[0].note_lost(MnId::new(1), 4.0);
+            shards[1].note_lost(MnId::new(3), 3.0);
+            assert_eq!(shards[0].stale_count(), 1);
+            assert_eq!(shards[1].stale_count(), 1);
+            let deltas: Vec<BrokerDelta> = shards.into_iter().map(BrokerShard::into_delta).collect();
+            for d in &deltas {
+                sharded.apply_delta(d);
+            }
+        }
+
+        assert_eq!(seq.lost_count(), sharded.lost_count());
+        assert_eq!(seq.estimated_count(), sharded.estimated_count());
+        for node in 0..4u32 {
+            assert_eq!(seq.location(MnId::new(node)), sharded.location(MnId::new(node)));
+            assert_eq!(seq.staleness(MnId::new(node)), sharded.staleness(MnId::new(node)));
         }
     }
 

@@ -3,7 +3,7 @@ use rand::rngs::StdRng;
 use mobigrid_campus::{RegionId, RegionKind};
 use mobigrid_geo::Point;
 use mobigrid_mobility::{MobilityModel, MobilityPattern, NodeType, Trace};
-use mobigrid_wireless::MnId;
+use mobigrid_wireless::{MnId, RetryPolicy};
 
 /// A mobile grid node: identity, workload metadata and its ground-truth
 /// mobility generator.
@@ -23,6 +23,7 @@ pub struct MobileNode {
     trace: Trace,
     record_trace: bool,
     home_anchor: Option<Point>,
+    retry_policy: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for MobileNode {
@@ -64,6 +65,7 @@ impl MobileNode {
             trace: Trace::new(),
             record_trace: false,
             home_anchor: None,
+            retry_policy: None,
         }
     }
 
@@ -91,6 +93,24 @@ impl MobileNode {
     #[must_use]
     pub fn home_anchor(&self) -> Option<Point> {
         self.home_anchor
+    }
+
+    /// Gives the node a bounded retry policy for location updates the
+    /// channel drops: the simulation re-sends after an exponential backoff
+    /// with deterministic jitter, up to the policy's retry cap.
+    ///
+    /// Without a policy (the default) a dropped update is simply lost, as
+    /// in the pre-fault-injection model.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
+    /// The node's retry policy, when one was attached.
+    #[must_use]
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry_policy
     }
 
     /// The node's identity.

@@ -2,7 +2,10 @@ use mobigrid_campus::RegionKind;
 use mobigrid_geo::Point;
 use mobigrid_sim::par::ShardPool;
 use mobigrid_sim::stats::Rmse;
-use mobigrid_wireless::{AccessNetwork, LocationUpdate, MnId};
+use mobigrid_wireless::{
+    event_noise, AccessNetwork, DropCause, FaultChannel, FaultPlan, LinkEvent, LocationUpdate,
+    MnId, RetryPolicy, SALT_RETRY_JITTER,
+};
 
 use crate::broker::{BrokerDelta, BrokerShard};
 use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
@@ -21,9 +24,21 @@ pub struct TickStats {
     /// Simulation time at the end of the tick, in seconds.
     pub time_s: f64,
     /// Location updates transmitted this tick (the Figure-4 series).
+    /// Counts every frame that reached the air, including retransmissions
+    /// and frames the fault channel then lost.
     pub sent: u32,
     /// Location updates observed (transmitted + filtered) this tick.
     pub observed: u32,
+    /// Retransmissions among this tick's sends (attempt number > 0).
+    pub retries: u32,
+    /// Transmitted updates that failed to arrive this tick: dropped in
+    /// flight, corrupted, or deferred to a later tick.
+    pub lost: u32,
+    /// Deferred updates that finally arrived this tick.
+    pub late: u32,
+    /// Nodes the with-LE broker currently marks stale (one or more
+    /// consecutive losses since their last accepted update).
+    pub stale_nodes: u32,
     /// Per-region-kind tallies for this tick (Figure 6).
     pub region: RegionTally,
     /// RMSE of the broker *with* the location estimator (Figure 7).
@@ -50,6 +65,7 @@ pub struct SimBuilder {
     policy: Option<Box<dyn FilterPolicy + Send>>,
     estimator: EstimatorKind,
     network: Option<AccessNetwork>,
+    faults: Option<(FaultPlan, u64)>,
     dt: f64,
     threads: usize,
 }
@@ -61,6 +77,7 @@ impl Default for SimBuilder {
             policy: None,
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             network: None,
+            faults: None,
             dt: 1.0,
             threads: 1,
         }
@@ -105,6 +122,19 @@ impl SimBuilder {
         self
     }
 
+    /// Wraps the access network in a deterministic [`FaultChannel`] driven
+    /// by `plan` and a dedicated `seed` (independent of the workload seed).
+    /// Fault fates are pure hashes of `(seed, node, seq, attempt)`, so the
+    /// same plan and seed replay bit-identically at any thread count.
+    ///
+    /// Requires [`SimBuilder::network`]; [`SimBuilder::build`] rejects a
+    /// fault plan without a network to inject into.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.faults = Some((plan, seed));
+        self
+    }
+
     /// Overrides the tick length in seconds (default 1.0, as in the paper).
     #[must_use]
     pub fn dt(mut self, dt: f64) -> Self {
@@ -127,7 +157,8 @@ impl SimBuilder {
     /// # Errors
     ///
     /// Reports missing policy, empty/non-dense node population, invalid
-    /// estimator parameters or a non-positive tick length.
+    /// estimator parameters, a non-positive tick length, an invalid fault
+    /// plan or retry policy, or a fault plan without a network.
     pub fn build(self) -> Result<MobileGridSim, String> {
         let policy = self.policy.ok_or("a filter policy is required")?;
         if self.nodes.is_empty() {
@@ -154,7 +185,22 @@ impl SimBuilder {
                 broker_raw.set_home_anchor(node.id(), anchor);
             }
         }
+        let channel = match self.faults {
+            Some((plan, seed)) => {
+                if self.network.is_none() {
+                    return Err("fault injection requires an access network".to_string());
+                }
+                Some(FaultChannel::new(plan, seed).map_err(|e| e.to_string())?)
+            }
+            None => None,
+        };
+        let retry_policies: Vec<Option<RetryPolicy>> =
+            self.nodes.iter().map(MobileNode::retry_policy).collect();
+        for policy in retry_policies.iter().flatten() {
+            policy.validate().map_err(|e| e.to_string())?;
+        }
         let seqs = vec![0u32; self.nodes.len()];
+        let retry = vec![RetryState::IDLE; self.nodes.len()];
         let kinds: Vec<RegionKind> = self.nodes.iter().map(MobileNode::region_kind).collect();
         let scratch = TickScratch::new(self.nodes.len());
         Ok(MobileGridSim {
@@ -164,6 +210,9 @@ impl SimBuilder {
             broker_le,
             broker_raw,
             network: self.network,
+            channel,
+            retry_policies,
+            retry,
             dt: self.dt,
             tick: 0,
             seqs,
@@ -180,17 +229,23 @@ impl SimBuilder {
 /// Every buffer is sized for the (fixed) node population at build time and
 /// reused on every [`MobileGridSim::step`], so the steady-state tick path
 /// performs no heap allocations (see `DESIGN.md`, "Tick memory model").
-/// `observations` and `delivered` are fixed-length and overwritten in
-/// place; `decisions` and `outs` are cleared and refilled, reusing their
-/// high-water capacity.
+/// `observations`, `link` and `sent_seq` are fixed-length and overwritten
+/// in place; `decisions`, `late_lus` and `outs` are cleared and refilled,
+/// reusing their high-water capacity.
 struct TickScratch {
     /// This tick's `(node, ground-truth position)` pairs, node order.
     /// Written by phase 1 through disjoint per-shard slices.
     observations: Vec<(MnId, Point)>,
     /// One filter decision per observation, written by the policy.
     decisions: Vec<Decision>,
-    /// Per-observation delivery mask when an access network is attached.
-    delivered: Vec<bool>,
+    /// Per-node network outcome when an access network is attached.
+    link: Vec<LinkOutcome>,
+    /// Sequence number each node transmitted with this tick (valid only
+    /// where `link` records a transmission; phase 2b owns `seqs` when a
+    /// network is attached and hands the used value to phase 3 here).
+    sent_seq: Vec<u32>,
+    /// Deferred frames that came due this tick, drained from the channel.
+    late_lus: Vec<LocationUpdate>,
     /// Per-shard partial results of the fused apply/measure phase.
     outs: Vec<ShardOut>,
 }
@@ -200,10 +255,45 @@ impl TickScratch {
         TickScratch {
             observations: vec![(MnId::new(0), Point::ORIGIN); nodes],
             decisions: Vec::with_capacity(nodes),
-            delivered: vec![false; nodes],
+            link: vec![LinkOutcome::Idle; nodes],
+            sent_seq: vec![0u32; nodes],
+            late_lus: Vec::new(),
             outs: Vec::with_capacity(mobigrid_sim::par::shard_count(nodes, SHARD_SIZE)),
         }
     }
+}
+
+/// Per-node outcome of the network phase, handed from the sequential
+/// routing phase (2b) to the sharded apply/measure phase (3+4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkOutcome {
+    /// Nothing was transmitted for this node this tick.
+    Idle,
+    /// The update reached the broker this tick.
+    Delivered {
+        /// The channel delivered a second copy alongside the original.
+        duplicate: bool,
+    },
+    /// The update did not reach the broker this tick. `transmitted` is
+    /// true when the frame reached the air (lost or deferred in flight)
+    /// and false when the node was out of coverage.
+    Lost { transmitted: bool },
+}
+
+/// Per-node retransmission state driven by the node's [`RetryPolicy`].
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// Failed attempts in the current loss streak (0 = healthy).
+    attempt: u32,
+    /// Tick at which the next retransmission fires (`u64::MAX` = none).
+    due_tick: u64,
+}
+
+impl RetryState {
+    const IDLE: RetryState = RetryState {
+        attempt: 0,
+        due_tick: u64::MAX,
+    };
 }
 
 /// The full evaluation pipeline: nodes → filter policy → (optional) access
@@ -251,6 +341,9 @@ pub struct MobileGridSim {
     broker_le: GridBroker,
     broker_raw: GridBroker,
     network: Option<AccessNetwork>,
+    channel: Option<FaultChannel>,
+    retry_policies: Vec<Option<RetryPolicy>>,
+    retry: Vec<RetryState>,
     dt: f64,
     tick: u64,
     seqs: Vec<u32>,
@@ -277,7 +370,12 @@ struct ShardJob<'a> {
     kinds: &'a [RegionKind],
     observations: &'a [(MnId, Point)],
     decisions: &'a [Decision],
-    delivered: Option<&'a [bool]>,
+    /// Per-node network outcomes, present when a network is attached (the
+    /// routing phase then owns the sequence counters).
+    link: Option<&'a [LinkOutcome]>,
+    /// Sequence numbers the routing phase transmitted with (valid only
+    /// where `link` records a transmission).
+    sent_seqs: &'a [u32],
     seqs: &'a mut [u32],
     le: BrokerShard<'a>,
     raw: BrokerShard<'a>,
@@ -288,6 +386,7 @@ struct ShardJob<'a> {
 /// the floating-point sums are bit-identical across thread counts.
 struct ShardOut {
     sent: u32,
+    stale: u32,
     tally: RegionTally,
     all_le: Rmse,
     all_raw: Rmse,
@@ -336,6 +435,13 @@ impl MobileGridSim {
         self.network.as_ref()
     }
 
+    /// The fault-injection channel, when one was configured via
+    /// [`SimBuilder::faults`].
+    #[must_use]
+    pub fn fault_channel(&self) -> Option<&FaultChannel> {
+        self.channel.as_ref()
+    }
+
     /// Ticks executed so far.
     #[must_use]
     pub fn tick_count(&self) -> u64 {
@@ -361,9 +467,11 @@ impl MobileGridSim {
     /// fixed `SHARD_SIZE`-node slices; filtering (2) and network routing
     /// (2b) stay sequential — the ADF clusters across the whole population
     /// and the access network is a single shared resource with ordered
-    /// accounting. Every per-shard partial is reduced in shard order, so
-    /// the returned [`TickStats`] stream is bit-identical for every thread
-    /// count.
+    /// accounting. Phase 2b also drains the fault channel's deferred
+    /// frames and drives each node's retry schedule; fault fates are pure
+    /// hashes of the event identity, never of scheduling. Every per-shard
+    /// partial is reduced in shard order, so the returned [`TickStats`]
+    /// stream is bit-identical for every thread count.
     ///
     /// Every phase works in the reusable [`TickScratch`] buffers, so in
     /// steady state (with a single worker thread) a tick performs **zero
@@ -396,29 +504,105 @@ impl MobileGridSim {
             .process_tick(time_s, &scratch.observations, &mut scratch.decisions);
         debug_assert_eq!(scratch.decisions.len(), scratch.observations.len());
 
-        // 2b. Route transmitted updates through the access network,
-        //     in node order. The update carries the node's *current*
-        //     sequence number; phase 3 rebuilds the identical update and
-        //     advances the counter.
-        let delivered: Option<&[bool]> = if let Some(net) = self.network.as_mut() {
-            for (((id, pos), decision), out) in scratch
+        // 2b. Route transmitted updates through the access network (and the
+        //     fault channel, when one is attached), in node order. When a
+        //     network is present this phase owns the sequence counters: it
+        //     advances them and records the used value in `sent_seq` so
+        //     phase 3 can rebuild the identical update. Retry-due nodes
+        //     retransmit here even when the filter said nothing new.
+        let mut retries = 0u32;
+        let mut lost = 0u32;
+        let mut late = 0u32;
+        let routed = if let Some(net) = self.network.as_mut() {
+            // Deferred frames due now reach the brokers before anything
+            // sent this tick, so their (older) timestamps stay in order.
+            if let Some(ch) = self.channel.as_mut() {
+                scratch.late_lus.clear();
+                ch.drain_due(self.tick, &mut scratch.late_lus);
+                for lu in &scratch.late_lus {
+                    self.broker_le.receive(lu);
+                    self.broker_raw.receive(lu);
+                }
+                late = scratch.late_lus.len() as u32;
+            }
+            for (i, (((id, pos), decision), out)) in scratch
                 .observations
                 .iter()
                 .zip(&scratch.decisions)
-                .zip(scratch.delivered.iter_mut())
+                .zip(scratch.link.iter_mut())
+                .enumerate()
             {
-                *out = match decision {
-                    Decision::Sent => {
-                        let lu = LocationUpdate::new(*id, time_s, *pos, self.seqs[id.index()]);
-                        net.transmit(&lu).is_ok()
+                let state = &mut self.retry[i];
+                let retry_due = state.due_tick <= self.tick;
+                if !(matches!(decision, Decision::Sent) || retry_due) {
+                    *out = LinkOutcome::Idle;
+                    continue;
+                }
+                let attempt = state.attempt;
+                let seq = self.seqs[i];
+                self.seqs[i] = seq.wrapping_add(1);
+                scratch.sent_seq[i] = seq;
+                retries += u32::from(attempt > 0);
+                let lu = LocationUpdate::new(*id, time_s, *pos, seq);
+                let event = match self.channel.as_mut() {
+                    Some(ch) => ch.transmit(net, &lu, attempt, self.tick),
+                    None => match net.transmit(&lu) {
+                        Ok(gateway) => LinkEvent::Delivered {
+                            gateway,
+                            duplicate: false,
+                        },
+                        Err(_) => LinkEvent::Dropped {
+                            cause: DropCause::NoCoverage,
+                        },
+                    },
+                };
+                *out = match event {
+                    LinkEvent::Delivered { duplicate, .. } => {
+                        *state = RetryState::IDLE;
+                        LinkOutcome::Delivered { duplicate }
                     }
-                    Decision::Filtered => false,
+                    LinkEvent::Deferred { .. } => {
+                        // In flight: it will arrive on its own, so the
+                        // sender does not retransmit, but the broker misses
+                        // it this tick.
+                        *state = RetryState::IDLE;
+                        lost += 1;
+                        LinkOutcome::Lost { transmitted: true }
+                    }
+                    LinkEvent::Dropped {
+                        cause: DropCause::NoCoverage,
+                    } => {
+                        *state = RetryState::IDLE;
+                        LinkOutcome::Lost { transmitted: false }
+                    }
+                    LinkEvent::Dropped { .. } => {
+                        lost += 1;
+                        *state = match self.retry_policies[i] {
+                            Some(policy) if attempt < policy.max_retries => {
+                                let next = attempt + 1;
+                                let noise = event_noise(
+                                    self.channel.as_ref().map_or(0, FaultChannel::seed),
+                                    id.raw(),
+                                    seq,
+                                    next,
+                                    SALT_RETRY_JITTER,
+                                );
+                                RetryState {
+                                    attempt: next,
+                                    due_tick: self.tick + policy.backoff_ticks(next, noise),
+                                }
+                            }
+                            _ => RetryState::IDLE,
+                        };
+                        LinkOutcome::Lost { transmitted: true }
+                    }
                 };
             }
-            Some(&scratch.delivered)
+            true
         } else {
-            None
+            false
         };
+        let link: Option<&[LinkOutcome]> = routed.then_some(&scratch.link);
 
         // 3+4 fused, shard-parallel: apply each decision to both brokers
         // and measure location error against ground truth — the paper's
@@ -430,15 +614,17 @@ impl MobileGridSim {
             .chunks(SHARD_SIZE)
             .zip(scratch.observations.chunks(SHARD_SIZE))
             .zip(scratch.decisions.chunks(SHARD_SIZE))
+            .zip(scratch.sent_seq.chunks(SHARD_SIZE))
             .zip(self.seqs.chunks_mut(SHARD_SIZE))
             .zip(self.broker_le.shard_views_iter(SHARD_SIZE))
             .zip(self.broker_raw.shard_views_iter(SHARD_SIZE))
             .enumerate()
-            .map(|(i, (((((kinds, obs), dec), seqs), le), raw))| ShardJob {
+            .map(|(i, ((((((kinds, obs), dec), sent_seqs), seqs), le), raw))| ShardJob {
                 kinds,
                 observations: obs,
                 decisions: dec,
-                delivered: delivered.map(|d| &d[i * SHARD_SIZE..(i * SHARD_SIZE + obs.len())]),
+                link: link.map(|d| &d[i * SHARD_SIZE..(i * SHARD_SIZE + obs.len())]),
+                sent_seqs,
                 seqs,
                 le,
                 raw,
@@ -450,6 +636,7 @@ impl MobileGridSim {
         // fixed floating-point summation order for the RMSE partials.
         let mut tick_tally = RegionTally::new();
         let mut sent = 0u32;
+        let mut stale_nodes = 0u32;
         let mut all_le = Rmse::new();
         let mut all_raw = Rmse::new();
         let mut road_le = Rmse::new();
@@ -458,6 +645,7 @@ impl MobileGridSim {
         let mut bld_raw = Rmse::new();
         for out in &scratch.outs {
             sent += out.sent;
+            stale_nodes += out.stale;
             tick_tally.merge(&out.tally);
             all_le.merge(&out.all_le);
             all_raw.merge(&out.all_raw);
@@ -474,6 +662,10 @@ impl MobileGridSim {
             time_s,
             sent,
             observed: scratch.observations.len() as u32,
+            retries,
+            lost,
+            late,
+            stale_nodes,
             region: tick_tally,
             rmse_with_le: all_le.value(),
             rmse_without_le: all_raw.value(),
@@ -489,6 +681,7 @@ impl MobileGridSim {
     fn run_shard(time_s: f64, mut job: ShardJob<'_>) -> ShardOut {
         let mut out = ShardOut {
             sent: 0,
+            stale: 0,
             tally: RegionTally::new(),
             all_le: Rmse::new(),
             all_raw: Rmse::new(),
@@ -501,30 +694,62 @@ impl MobileGridSim {
         };
         for (i, (id, pos)) in job.observations.iter().enumerate() {
             let kind = job.kinds[i];
-            match job.decisions[i] {
-                Decision::Sent => {
-                    let seq = &mut job.seqs[i];
-                    let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
-                    *seq = seq.wrapping_add(1);
-                    let delivered = job.delivered.is_none_or(|d| d[i]);
-                    if delivered {
+            match job.link {
+                // No network: a sent update reaches the brokers directly,
+                // and this phase owns the sequence counters.
+                None => match job.decisions[i] {
+                    Decision::Sent => {
+                        let seq = &mut job.seqs[i];
+                        let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
+                        *seq = seq.wrapping_add(1);
                         out.sent += 1;
                         out.tally.record(kind, true);
                         job.le.receive(&lu);
                         job.raw.receive(&lu);
-                    } else {
-                        // Out of coverage: the broker sees nothing and must
-                        // estimate, same as a filtered update.
+                    }
+                    Decision::Filtered => {
                         out.tally.record(kind, false);
                         job.le.note_filtered(*id, time_s);
                         job.raw.note_filtered(*id, time_s);
                     }
-                }
-                Decision::Filtered => {
-                    out.tally.record(kind, false);
-                    job.le.note_filtered(*id, time_s);
-                    job.raw.note_filtered(*id, time_s);
-                }
+                },
+                // With a network the routing phase already decided every
+                // frame's fate; apply it to both brokers.
+                Some(link) => match link[i] {
+                    LinkOutcome::Idle => {
+                        out.tally.record(kind, false);
+                        job.le.note_filtered(*id, time_s);
+                        job.raw.note_filtered(*id, time_s);
+                    }
+                    LinkOutcome::Delivered { duplicate } => {
+                        let lu = LocationUpdate::new(*id, time_s, *pos, job.sent_seqs[i]);
+                        out.sent += 1;
+                        out.tally.record(kind, true);
+                        job.le.receive(&lu);
+                        job.raw.receive(&lu);
+                        if duplicate {
+                            // The second copy is byte-identical; the broker
+                            // rejects it and counts the rejection.
+                            job.le.receive(&lu);
+                            job.raw.receive(&lu);
+                        }
+                    }
+                    LinkOutcome::Lost { transmitted: true } => {
+                        // The frame consumed airtime but never arrived: the
+                        // broker expected it and degrades gracefully.
+                        out.sent += 1;
+                        out.tally.record(kind, true);
+                        job.le.note_lost(*id, time_s);
+                        job.raw.note_lost(*id, time_s);
+                    }
+                    LinkOutcome::Lost { transmitted: false } => {
+                        // Out of coverage: the frame never reached the air;
+                        // the broker estimates, same as a filtered update.
+                        out.tally.record(kind, false);
+                        job.le.note_filtered(*id, time_s);
+                        job.raw.note_filtered(*id, time_s);
+                    }
+                },
             }
             // Measure against ground truth via direct dense-slot reads.
             let err_le = job
@@ -548,6 +773,7 @@ impl MobileGridSim {
                 }
             }
         }
+        out.stale = job.le.stale_count();
         out.le_delta = job.le.into_delta();
         out.raw_delta = job.raw.into_delta();
         out
@@ -747,6 +973,183 @@ mod tests {
                 "tick {tick}: estimated RMSE must be a valid distance"
             );
         }
+    }
+
+    fn wide_net() -> mobigrid_wireless::AccessNetwork {
+        use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind};
+        AccessNetwork::new(vec![Gateway::new(
+            0,
+            GatewayKind::BaseStation,
+            Point::new(500.0, 250.0),
+            10_000.0,
+        )])
+    }
+
+    #[test]
+    fn faults_require_a_network() {
+        let err = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0)])
+            .policy(IdealPolicy::new())
+            .faults(FaultPlan::lossless(), 9)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("network"), "got: {err}");
+    }
+
+    #[test]
+    fn lossless_channel_is_invisible() {
+        let build = |fault: bool| {
+            let b = SimBuilder::new()
+                .nodes(vec![walker(0, 2.0), walker(1, 3.0), parked(2)])
+                .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+                .network(wide_net());
+            if fault { b.faults(FaultPlan::lossless(), 1234) } else { b }
+                .build()
+                .unwrap()
+        };
+        let plain = build(false).run(120);
+        let channeled = build(true).run(120);
+        assert_eq!(plain, channeled, "a lossless channel changed the results");
+        for s in &plain {
+            assert_eq!((s.retries, s.lost, s.late, s.stale_nodes), (0, 0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn drops_degrade_and_retries_fire() {
+        use mobigrid_wireless::RetryPolicy;
+        let plan = FaultPlan {
+            drop_rate: 1.0,
+            ..FaultPlan::lossless()
+        };
+        let nodes = vec![
+            walker(0, 2.0).with_retry_policy(RetryPolicy::default()),
+            parked(1).with_retry_policy(RetryPolicy::default()),
+        ];
+        let mut sim = SimBuilder::new()
+            .nodes(nodes)
+            .policy(IdealPolicy::new())
+            .network(wide_net())
+            .faults(plan, 7)
+            .build()
+            .unwrap();
+        let stats = sim.run(30);
+
+        let total_sent: u64 = stats.iter().map(|s| u64::from(s.sent)).sum();
+        let total_lost: u64 = stats.iter().map(|s| u64::from(s.lost)).sum();
+        let total_retries: u64 = stats.iter().map(|s| u64::from(s.retries)).sum();
+        // Every frame that reached the air was lost.
+        assert_eq!(total_sent, total_lost);
+        // The ideal policy sends every tick, so retransmissions stack on
+        // top of the per-tick sends.
+        assert!(total_retries > 0, "retry policy never fired");
+        assert_eq!(
+            sim.network().unwrap().meter().messages(),
+            total_sent,
+            "the meter must count every frame on the air, lost or not"
+        );
+        // Both nodes have been silent the whole run: permanently stale.
+        assert_eq!(stats.last().unwrap().stale_nodes, 2);
+        assert_eq!(sim.broker_with_le().received_count(), 0);
+        assert_eq!(
+            sim.broker_with_le().lost_count(),
+            sim.broker_without_le().lost_count()
+        );
+        assert_eq!(sim.fault_channel().unwrap().stats().dropped, total_sent);
+    }
+
+    #[test]
+    fn deferred_frames_arrive_late() {
+        let plan = FaultPlan {
+            delay_rate: 1.0,
+            max_delay_ticks: 3,
+            ..FaultPlan::lossless()
+        };
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(IdealPolicy::new())
+            .network(wide_net())
+            .faults(plan, 21)
+            .build()
+            .unwrap();
+        let stats = sim.run(40);
+        let total_lost: u64 = stats.iter().map(|s| u64::from(s.lost)).sum();
+        let total_late: u64 = stats.iter().map(|s| u64::from(s.late)).sum();
+        assert!(total_late > 0, "no deferred frame ever came due");
+        // Every loss was a deferral; all but the still-in-flight tail
+        // arrived late.
+        let in_flight = sim.fault_channel().unwrap().in_flight() as u64;
+        assert_eq!(total_late + in_flight, total_lost);
+        // Late frames carry older timestamps; the broker accepts the ones
+        // still in order and rejects the rest — it never goes backwards.
+        assert!(sim.broker_with_le().received_count() > 0);
+    }
+
+    #[test]
+    fn duplicates_are_rejected_not_double_counted() {
+        let plan = FaultPlan {
+            duplicate_rate: 1.0,
+            ..FaultPlan::lossless()
+        };
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0)])
+            .policy(IdealPolicy::new())
+            .network(wide_net())
+            .faults(plan, 3)
+            .build()
+            .unwrap();
+        let stats = sim.run(20);
+        let total_sent: u64 = stats.iter().map(|s| u64::from(s.sent)).sum();
+        assert_eq!(total_sent, 20, "duplicates must not inflate sent");
+        // Each tick delivered one original (accepted) and one copy
+        // (rejected by the broker's dedup).
+        assert_eq!(sim.broker_with_le().received_count(), 20);
+        assert_eq!(sim.broker_with_le().rejected_count(), 20);
+        assert_eq!(sim.fault_channel().unwrap().stats().duplicated, 20);
+    }
+
+    /// The fault stream must be as scheduling-blind as the rest of the
+    /// pipeline: a faulty 150-node run produces bit-identical tick
+    /// statistics on one worker thread and on four.
+    #[test]
+    fn thread_count_does_not_change_faulty_tick_stats() {
+        use mobigrid_wireless::RetryPolicy;
+        let plan = FaultPlan {
+            drop_rate: 0.15,
+            corrupt_rate: 0.05,
+            delay_rate: 0.1,
+            max_delay_ticks: 4,
+            duplicate_rate: 0.05,
+            flaps: Vec::new(),
+        };
+        let build = |threads: usize| {
+            let nodes: Vec<MobileNode> = (0..150u32)
+                .map(|i| {
+                    let n = if i % 4 == 3 {
+                        parked(i)
+                    } else {
+                        walker(i, 1.0 + f64::from(i % 7))
+                    };
+                    n.with_retry_policy(RetryPolicy::default())
+                })
+                .collect();
+            SimBuilder::new()
+                .nodes(nodes)
+                .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+                .network(wide_net())
+                .faults(plan.clone(), 99)
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let a = build(1).run(100);
+        let b = build(4).run(100);
+        assert_eq!(a, b, "thread count leaked into the fault stream");
+        let faults: u64 = a
+            .iter()
+            .map(|s| u64::from(s.lost) + u64::from(s.late) + u64::from(s.retries))
+            .sum();
+        assert!(faults > 0, "the fault plan injected nothing");
     }
 
     /// The sharded executor must be invisible in the results: a 150-node

@@ -168,6 +168,59 @@ fn bench_steady_state_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// The fault channel's per-transmission overhead: the same frame pushed
+/// through a lossless plan (pure hash rolls, no fault taken) and through a
+/// lossy mix (drops, CRC-checked corruption, deferral bookkeeping). This
+/// bounds what `SimBuilder::faults` adds to every transmitted update.
+fn bench_fault_channel(c: &mut Criterion) {
+    use mobigrid_wireless::{
+        AccessNetwork, FaultChannel, FaultPlan, Gateway, GatewayKind, LocationUpdate, MnId,
+    };
+    let mut g = c.benchmark_group("fault_channel");
+    let plans = [
+        ("lossless", FaultPlan::lossless()),
+        (
+            "lossy_mix",
+            FaultPlan {
+                drop_rate: 0.1,
+                corrupt_rate: 0.05,
+                delay_rate: 0.05,
+                max_delay_ticks: 4,
+                duplicate_rate: 0.05,
+                flaps: Vec::new(),
+            },
+        ),
+    ];
+    for (name, plan) in plans {
+        g.bench_function(BenchmarkId::new("transmit", name), |b| {
+            let mut net = AccessNetwork::new(vec![Gateway::new(
+                0,
+                GatewayKind::BaseStation,
+                Point::new(0.0, 0.0),
+                1e6,
+            )]);
+            let mut ch = FaultChannel::new(plan.clone(), 7).expect("valid plan");
+            let mut seq = 0u32;
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                seq = seq.wrapping_add(1);
+                let lu = LocationUpdate::new(
+                    MnId::new(1),
+                    f64::from(seq),
+                    Point::new(10.0, 20.0),
+                    seq,
+                );
+                let event = ch.transmit(black_box(&mut net), black_box(&lu), 0, u64::from(seq));
+                // Keep the in-flight queue bounded: drain due deferrals.
+                ch.drain_due(u64::from(seq), &mut scratch);
+                scratch.clear();
+                black_box(event)
+            });
+        });
+    }
+    g.finish();
+}
+
 /// Tick throughput across the population × thread-count matrix: the paper's
 /// 140-node campus and an 1140-node 8×8 grid city, each at 1–8 worker
 /// threads. Results are bit-identical across the thread axis; only
@@ -202,6 +255,7 @@ criterion_group!(
     bench_hla_update_reflect,
     bench_full_sim_tick,
     bench_steady_state_tick,
+    bench_fault_channel,
     bench_tick_throughput
 );
 criterion_main!(micro);

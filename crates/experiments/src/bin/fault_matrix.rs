@@ -1,0 +1,20 @@
+//! Runs the fault-matrix experiment: the ADF's traffic/accuracy trade-off
+//! across a loss-rate × DTH-factor grid on a deterministic lossy channel.
+
+mod common;
+
+use mobigrid_experiments::fault_matrix::{self, FaultMatrixConfig};
+
+fn main() {
+    let cli = common::parse_cli();
+    let cfg = FaultMatrixConfig {
+        base: cli.config,
+        ..FaultMatrixConfig::default()
+    };
+    let data = fault_matrix::compute(&cfg);
+    if cli.csv {
+        print!("{}", data.csv());
+    } else {
+        print!("{data}");
+    }
+}

@@ -172,13 +172,17 @@ pub fn outage_resilience(cfg: &ExperimentConfig) -> OutageReport {
             for ap in 1..=6u32 {
                 let mut start = f64::from(ap) * 50.0;
                 while start < cfg.duration_ticks as f64 {
-                    sched.add_window(GatewayId::new(ap), start, start + 60.0);
+                    sched
+                        .add_window(GatewayId::new(ap), start, start + 60.0)
+                        .expect("well-formed outage window");
                     start += 300.0;
                 }
             }
             let mut start = 120.0;
             while start < cfg.duration_ticks as f64 {
-                sched.add_window(GatewayId::new(0), start, start + 20.0);
+                sched
+                    .add_window(GatewayId::new(0), start, start + 20.0)
+                    .expect("well-formed outage window");
                 start += 400.0;
             }
             network = network.with_outages(sched);

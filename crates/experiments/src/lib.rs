@@ -55,6 +55,7 @@ pub(crate) mod test_support {
     }
 }
 pub mod extensions;
+pub mod fault_matrix;
 pub mod federated;
 pub mod intervals;
 pub mod fig4;

@@ -7,10 +7,14 @@
 //! toward the adaptive distance filter. This crate models that layer:
 //!
 //! * [`MnId`] — mobile-node identity,
-//! * [`LocationUpdate`] — the LU frame, with a fixed 32-byte wire encoding,
+//! * [`LocationUpdate`] — the LU frame, with a fixed 36-byte checksummed
+//!   wire encoding,
 //! * [`Gateway`] — a coverage site (base station or access point),
 //! * [`AccessNetwork`] — association, handoff and delivery with per-gateway
 //!   traffic accounting,
+//! * [`FaultChannel`] — deterministic fault injection (drop, corruption,
+//!   delay, duplication, flapping) with [`RetryPolicy`] for sender-side
+//!   recovery,
 //! * [`TrafficMeter`] — message/byte counters the experiments read.
 //!
 //! # Examples
@@ -34,6 +38,7 @@
 
 mod energy;
 mod error;
+mod fault;
 mod gateway;
 mod message;
 mod network;
@@ -42,6 +47,10 @@ mod traffic;
 
 pub use energy::{Battery, EnergyModel};
 pub use error::WirelessError;
+pub use fault::{
+    event_noise, ChannelStats, DropCause, FaultChannel, FaultPlan, FlapSpec, LinkEvent,
+    RetryPolicy, SALT_RETRY_JITTER,
+};
 pub use gateway::{Gateway, GatewayId, GatewayKind};
 pub use message::{LocationUpdate, MnId};
 pub use network::AccessNetwork;

@@ -45,13 +45,46 @@ impl From<u32> for MnId {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected) lookup table, generated at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32/IEEE over `data` — the checksum protecting the LU wire frame.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// A location update (LU): the message a mobile node sends to report where
 /// it is.
 ///
 /// The entire evaluation of the paper is about how many of these can be
-/// *not* sent. Each LU has a fixed 32-byte wire encoding
-/// ([`LocationUpdate::WIRE_SIZE`]) so the traffic meters can report bytes as
-/// well as message counts.
+/// *not* sent. Each LU has a fixed 36-byte wire encoding
+/// ([`LocationUpdate::WIRE_SIZE`]) — a 32-byte payload plus a CRC-32
+/// trailer — so the traffic meters can report bytes as well as message
+/// counts, and receivers can detect frames corrupted in flight.
 ///
 /// # Examples
 ///
@@ -78,8 +111,11 @@ pub struct LocationUpdate {
 
 impl LocationUpdate {
     /// Size of the wire encoding in bytes: node(4) + seq(4) + time(8) +
-    /// x(8) + y(8).
-    pub const WIRE_SIZE: usize = 32;
+    /// x(8) + y(8) + crc32(4).
+    pub const WIRE_SIZE: usize = 36;
+
+    /// Size of the checksummed payload (everything before the CRC trailer).
+    pub const PAYLOAD_SIZE: usize = 32;
 
     /// Creates a location update.
     #[must_use]
@@ -92,7 +128,7 @@ impl LocationUpdate {
         }
     }
 
-    /// Serialises to the fixed 32-byte big-endian wire format in a freshly
+    /// Serialises to the fixed 36-byte big-endian wire format in a freshly
     /// allocated buffer. Hot paths should prefer
     /// [`LocationUpdate::encode_into`], which writes into caller-provided
     /// (typically stack) storage.
@@ -104,12 +140,15 @@ impl LocationUpdate {
     }
 
     /// Serialises into a caller-provided frame buffer — no heap traffic.
+    /// The trailer bytes carry the CRC-32 of the 32-byte payload.
     pub fn encode_into(&self, frame: &mut [u8; Self::WIRE_SIZE]) {
         frame[0..4].copy_from_slice(&self.node.raw().to_be_bytes());
         frame[4..8].copy_from_slice(&self.seq.to_be_bytes());
         frame[8..16].copy_from_slice(&self.time_s.to_be_bytes());
         frame[16..24].copy_from_slice(&self.position.x.to_be_bytes());
         frame[24..32].copy_from_slice(&self.position.y.to_be_bytes());
+        let crc = crc32(&frame[..Self::PAYLOAD_SIZE]);
+        frame[32..36].copy_from_slice(&crc.to_be_bytes());
     }
 
     /// Serialises to a stack-allocated wire frame.
@@ -125,7 +164,8 @@ impl LocationUpdate {
     /// # Errors
     ///
     /// Returns [`WirelessError::MalformedFrame`] for frames shorter than
-    /// [`LocationUpdate::WIRE_SIZE`].
+    /// [`LocationUpdate::WIRE_SIZE`] and [`WirelessError::ChecksumMismatch`]
+    /// when the CRC trailer does not match the payload.
     pub fn decode(frame: &[u8]) -> Result<Self, WirelessError> {
         Self::decode_from(frame)
     }
@@ -134,10 +174,15 @@ impl LocationUpdate {
     /// out of the slice without an owned intermediate buffer. Trailing
     /// bytes beyond [`LocationUpdate::WIRE_SIZE`] are ignored.
     ///
+    /// The payload CRC is verified before any field is interpreted, so a
+    /// frame corrupted in flight is rejected rather than decoded into a
+    /// plausible-looking bogus update.
+    ///
     /// # Errors
     ///
     /// Returns [`WirelessError::MalformedFrame`] for frames shorter than
-    /// [`LocationUpdate::WIRE_SIZE`].
+    /// [`LocationUpdate::WIRE_SIZE`] and [`WirelessError::ChecksumMismatch`]
+    /// when the CRC trailer does not match the payload.
     pub fn decode_from(frame: &[u8]) -> Result<Self, WirelessError> {
         if frame.len() < Self::WIRE_SIZE {
             return Err(WirelessError::MalformedFrame {
@@ -151,6 +196,11 @@ impl LocationUpdate {
         let be_f64 = |r: std::ops::Range<usize>| {
             f64::from_be_bytes(frame[r].try_into().expect("8-byte field"))
         };
+        let stored = be_u32(32..36);
+        let computed = crc32(&frame[..Self::PAYLOAD_SIZE]);
+        if stored != computed {
+            return Err(WirelessError::ChecksumMismatch { stored, computed });
+        }
         Ok(LocationUpdate {
             node: MnId::new(be_u32(0..4)),
             seq: be_u32(4..8),
@@ -179,9 +229,33 @@ mod tests {
             err,
             WirelessError::MalformedFrame {
                 got: 10,
-                needed: 32
+                needed: 36
             }
         );
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_frames() {
+        let lu = LocationUpdate::new(MnId::new(8), 2.5, Point::new(10.0, -4.0), 3);
+        let mut frame = lu.encode_to_array();
+        frame[17] ^= 0x40; // flip one payload bit
+        assert!(matches!(
+            LocationUpdate::decode_from(&frame).unwrap_err(),
+            WirelessError::ChecksumMismatch { .. }
+        ));
+        // A damaged trailer is caught too.
+        let mut frame = lu.encode_to_array();
+        frame[35] ^= 0x01;
+        assert!(matches!(
+            LocationUpdate::decode_from(&frame).unwrap_err(),
+            WirelessError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn crc_matches_the_ieee_reference_vector() {
+        // CRC-32/IEEE of "123456789" is the classic check value 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
@@ -208,8 +282,8 @@ mod tests {
         );
         // Short frames fail identically through both entry points.
         assert_eq!(
-            LocationUpdate::decode_from(&[0u8; 31]).unwrap_err(),
-            LocationUpdate::decode(&[0u8; 31]).unwrap_err()
+            LocationUpdate::decode_from(&[0u8; 35]).unwrap_err(),
+            LocationUpdate::decode(&[0u8; 35]).unwrap_err()
         );
     }
 

@@ -153,6 +153,12 @@ impl AccessNetwork {
         self
     }
 
+    /// Overlays additional outage windows (e.g. compiled gateway flapping,
+    /// see [`crate::FaultPlan::flap_outages`]) onto the attached schedule.
+    pub fn extend_outages(&mut self, extra: &OutageSchedule) {
+        self.outages.extend(extra);
+    }
+
     /// The attached outage schedule.
     #[must_use]
     pub fn outages(&self) -> &OutageSchedule {
@@ -333,7 +339,8 @@ mod tests {
         net.transmit(&lu(2, 0.0, 20.0)).unwrap();
         net.transmit(&lu(3, 0.0, 290.0)).unwrap();
         assert_eq!(net.meter().messages(), 3);
-        assert_eq!(net.meter().bytes(), 96);
+        assert_eq!(net.meter().bytes(), 3 * LocationUpdate::WIRE_SIZE as u64);
+        assert_eq!(net.meter().bytes(), 108);
         assert_eq!(net.gateway_meter(GatewayId::new(0)).messages(), 2);
         assert_eq!(net.gateway_meter(GatewayId::new(1)).messages(), 1);
     }
@@ -374,7 +381,7 @@ mod tests {
     #[test]
     fn outages_reroute_or_drop_transmissions() {
         let mut sched = OutageSchedule::new();
-        sched.add_window(GatewayId::new(0), 0.0, 10.0);
+        sched.add_window(GatewayId::new(0), 0.0, 10.0).unwrap();
         let mut net = two_cell_network().with_outages(sched);
         // During the outage the only covering gateway for x=10 is down.
         let err = net.transmit(&lu(1, 5.0, 10.0)).unwrap_err();
@@ -388,7 +395,7 @@ mod tests {
     #[test]
     fn best_gateway_at_skips_down_gateways() {
         let mut sched = OutageSchedule::new();
-        sched.add_window(GatewayId::new(0), 0.0, 100.0);
+        sched.add_window(GatewayId::new(0), 0.0, 100.0).unwrap();
         let net = two_cell_network().with_outages(sched);
         // x=10 is only covered by gateway 0, which is down.
         assert!(net.best_gateway_at(Point::new(10.0, 0.0), 50.0).is_none());
@@ -414,7 +421,7 @@ mod tests {
     #[test]
     fn down_gateway_excluded_by_index_exactly_as_by_linear_scan() {
         let mut sched = OutageSchedule::new();
-        sched.add_window(GatewayId::new(0), 0.0, 100.0);
+        sched.add_window(GatewayId::new(0), 0.0, 100.0).unwrap();
         let net = two_cell_network().with_outages(sched);
         for x in [-50.0, 0.0, 10.0, 99.0, 150.0, 250.0, 290.0, 410.0] {
             let p = Point::new(x, 0.0);
@@ -451,9 +458,9 @@ mod tests {
             })
             .collect();
         let mut sched = OutageSchedule::new();
-        sched.add_window(GatewayId::new(3), 0.0, 50.0);
-        sched.add_window(GatewayId::new(12), 20.0, 80.0);
-        sched.add_window(GatewayId::new(24), 0.0, 1000.0);
+        sched.add_window(GatewayId::new(3), 0.0, 50.0).unwrap();
+        sched.add_window(GatewayId::new(12), 20.0, 80.0).unwrap();
+        sched.add_window(GatewayId::new(24), 0.0, 1000.0).unwrap();
         let net = AccessNetwork::new(gws).with_outages(sched);
 
         let mut px = -60.0;

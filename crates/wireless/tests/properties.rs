@@ -2,7 +2,8 @@
 
 use mobigrid_geo::Point;
 use mobigrid_wireless::{
-    AccessNetwork, Battery, EnergyModel, Gateway, GatewayKind, LocationUpdate, MnId,
+    AccessNetwork, Battery, EnergyModel, FaultChannel, FaultPlan, Gateway, GatewayKind, LinkEvent,
+    LocationUpdate, MnId,
 };
 use proptest::prelude::*;
 
@@ -89,6 +90,111 @@ proptest! {
         prop_assert_eq!(battery.frames_sent(), sent);
         let cost = model.frame_cost_j(LocationUpdate::WIRE_SIZE);
         prop_assert!((battery.consumed_j() - sent as f64 * cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossless_channel_delivers_everything_in_order(
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0u32..8, 0.0..400.0f64), 1..60),
+    ) {
+        // Drop rate 0.0 (and every other rate 0.0): the channel is the
+        // identity — every frame is delivered immediately, exactly once,
+        // in submission order.
+        let mut net = grid_network(5, 250.0);
+        let mut ch = FaultChannel::new(FaultPlan::lossless(), seed).unwrap();
+        let mut delivered = Vec::new();
+        for (tick, (node, x)) in sends.iter().enumerate() {
+            let lu = LocationUpdate::new(
+                MnId::new(*node),
+                tick as f64,
+                Point::new(*x, 0.0),
+                tick as u32,
+            );
+            match ch.transmit(&mut net, &lu, 0, tick as u64) {
+                LinkEvent::Delivered { duplicate, .. } => {
+                    prop_assert!(!duplicate);
+                    delivered.push(lu);
+                }
+                LinkEvent::Dropped { .. } => {} // out of coverage only
+                LinkEvent::Deferred { .. } => {
+                    prop_assert!(false, "lossless channel must never defer");
+                }
+            }
+        }
+        prop_assert_eq!(ch.in_flight(), 0);
+        prop_assert_eq!(ch.stats().delivered, delivered.len() as u64);
+        prop_assert_eq!(ch.stats().dropped + ch.stats().corrupted
+            + ch.stats().delayed + ch.stats().duplicated, 0);
+        // Delivery order is submission order (times strictly increase).
+        for pair in delivered.windows(2) {
+            prop_assert!(pair[0].time_s < pair[1].time_s);
+        }
+    }
+
+    #[test]
+    fn full_loss_channel_delivers_nothing(
+        seed in any::<u64>(),
+        sends in prop::collection::vec(0.0..400.0f64, 1..60),
+    ) {
+        let plan = FaultPlan { drop_rate: 1.0, ..FaultPlan::lossless() };
+        let mut net = grid_network(5, 250.0);
+        let mut ch = FaultChannel::new(plan, seed).unwrap();
+        for (tick, x) in sends.iter().enumerate() {
+            let lu = LocationUpdate::new(MnId::new(0), tick as f64, Point::new(*x, 0.0), tick as u32);
+            let event = ch.transmit(&mut net, &lu, 0, tick as u64);
+            prop_assert!(matches!(event, LinkEvent::Dropped { .. }));
+        }
+        prop_assert_eq!(ch.stats().delivered, 0);
+        prop_assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn duplication_never_invents_bytes(
+        seed in any::<u64>(),
+        node in any::<u32>(),
+        seq in any::<u32>(),
+        t in -1.0e6..1.0e6f64,
+        x in 0.0..400.0f64,
+    ) {
+        // A duplicated delivery is a byte-for-byte copy: re-encoding the
+        // delivered update reproduces the original frame exactly, so the
+        // duplicate carries no bytes the sender didn't transmit.
+        let plan = FaultPlan { duplicate_rate: 1.0, ..FaultPlan::lossless() };
+        let mut net = grid_network(5, 250.0);
+        let mut ch = FaultChannel::new(plan, seed).unwrap();
+        let lu = LocationUpdate::new(MnId::new(node), t, Point::new(x, 0.0), seq);
+        match ch.transmit(&mut net, &lu, 0, 0) {
+            LinkEvent::Delivered { duplicate, .. } => {
+                prop_assert!(duplicate);
+                // Both copies decode back to the transmitted update.
+                let frame = lu.encode_to_array();
+                let copy = LocationUpdate::decode_from(&frame).unwrap();
+                prop_assert_eq!(copy, lu);
+                prop_assert_eq!(copy.encode_to_array(), frame);
+                prop_assert_eq!(ch.stats().delivered, 2);
+                prop_assert_eq!(ch.stats().duplicated, 1);
+            }
+            other => prop_assert!(false, "expected duplicated delivery, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn checksum_catches_every_single_byte_flip(
+        node in any::<u32>(),
+        seq in any::<u32>(),
+        t in -1.0e6..1.0e6f64,
+        x in -1.0e6..1.0e6f64,
+        y in -1.0e6..1.0e6f64,
+        index in 0usize..LocationUpdate::WIRE_SIZE,
+        flip in 1u8..=255,
+    ) {
+        let lu = LocationUpdate::new(MnId::new(node), t, Point::new(x, y), seq);
+        let mut frame = lu.encode_to_array();
+        frame[index] ^= flip;
+        prop_assert!(
+            LocationUpdate::decode_from(&frame).is_err(),
+            "flip {flip:#04x} at byte {index} must not decode"
+        );
     }
 
     #[test]
