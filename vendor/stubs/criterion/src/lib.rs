@@ -1,0 +1,136 @@
+//! Offline stand-in for `criterion`: times each benchmark crudely with
+//! `std::time::Instant` and prints ns/iter, so benches run without network.
+#![allow(clippy::all)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Warmup + calibration: find an iteration count that runs >= ~5 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if b.elapsed_ns >= 5_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = u128::MAX;
+    for _ in 0..samples.min(10) {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / u128::from(iters.max(1));
+        best = best.min(per_iter);
+    }
+    println!("bench {name}: {best} ns/iter ({iters} iters/sample)");
+}
+
+/// Identifier helper used by parameterised benches.
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> String {
+        format!("{name}/{param}")
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> String {
+        format!("{param}")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

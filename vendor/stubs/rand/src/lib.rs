@@ -1,0 +1,329 @@
+//! Offline stand-in for the `rand` crate (API-compatible subset).
+//!
+//! Deterministic, statistically-reasonable RNG built on SplitMix64. Only the
+//! surface actually used by the mobigrid workspace is provided.
+#![allow(clippy::all)]
+
+pub mod distributions {
+    use crate::RngCore;
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `Standard` distribution (uniform over the type's natural range).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+            (rng.next_u32() >> 24) as u8
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Types that can be drawn uniformly from a range.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+                -> Self;
+        }
+
+        macro_rules! impl_int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_in<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let span = if inclusive {
+                            (hi as i128) - (lo as i128) + 1
+                        } else {
+                            (hi as i128) - (lo as i128)
+                        };
+                        assert!(span > 0, "empty range in gen_range");
+                        let v = (rng.next_u64() as u128 % span as u128) as i128;
+                        (lo as i128 + v) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
+                -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + u * (hi - lo)
+            }
+        }
+        impl SampleUniform for f32 {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool)
+                -> Self {
+                assert!(lo <= hi, "empty range in gen_range");
+                let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+                lo + u * (hi - lo)
+            }
+        }
+
+        /// Range-like arguments accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_in(rng, self.start, self.end, false)
+            }
+        }
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_in(rng, *self.start(), *self.end(), true)
+            }
+        }
+    }
+}
+
+pub use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// Core RNG interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience methods over [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNG construction.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, s) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix_next, RngCore, SeedableRng};
+
+    /// Stand-in for rand's ChaCha12-based `StdRng` (SplitMix64 here).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (splitmix_next(&mut self.state) >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            splitmix_next(&mut self.state)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                for (b, s) in chunk.iter_mut().zip(v) {
+                    *b = s;
+                }
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut state = 0u64;
+            for chunk in seed.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                state ^= u64::from_le_bytes(word);
+                state = state.rotate_left(17);
+            }
+            StdRng { state }
+        }
+    }
+
+    pub mod mock {
+        use crate::RngCore;
+
+        /// A mock RNG yielding an arithmetic sequence.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            pub fn new(initial: u64, step: u64) -> Self {
+                StepRng {
+                    value: initial,
+                    step,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.step);
+                out
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let v = self.next_u64().to_le_bytes();
+                    for (b, s) in chunk.iter_mut().zip(v) {
+                        *b = s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+
+    /// Slice shuffling/choosing helpers.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                self.get(i)
+            }
+        }
+    }
+}
+
+/// A lightweight `thread_rng` substitute (deterministic).
+pub fn thread_rng() -> rngs::StdRng {
+    <rngs::StdRng as SeedableRng>::seed_from_u64(0x7EAD_1234_5678_9ABC)
+}

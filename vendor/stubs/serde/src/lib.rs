@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde` (traits only; derives emit empty impls).
+#![allow(clippy::all)]
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
