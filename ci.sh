@@ -25,6 +25,18 @@ cargo test -q -p mobigrid-experiments --test golden_trace
 echo "==> fault_matrix smoke"
 cargo run --release -p mobigrid-experiments --bin fault_matrix -- --ticks 60 > /dev/null
 
+echo "==> telemetry export smoke"
+cargo test -q -p mobigrid-experiments --test telemetry_export
+smoke_jsonl="$(mktemp -t mobigrid-telemetry.XXXXXX.jsonl)"
+cargo run --release -p mobigrid-experiments --bin experiment -- \
+  --experiment fig4 --ticks 60 --telemetry "$smoke_jsonl" > /dev/null
+test -s "$smoke_jsonl"
+if command -v python3 > /dev/null; then
+  # Independent parser: every exported line must be valid JSON.
+  python3 -c 'import json,sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]' "$smoke_jsonl"
+fi
+rm -f "$smoke_jsonl"
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 

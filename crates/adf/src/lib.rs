@@ -47,6 +47,7 @@ mod filter;
 mod node;
 mod pipeline;
 mod policy;
+mod runtime;
 mod stats;
 
 pub use broker::{BrokerDelta, BrokerShard, EstimatorKind, GridBroker, LocationRecord};
@@ -54,6 +55,7 @@ pub use classifier::{MobilityClassifier, MotionSample};
 pub use config::AdfConfig;
 pub use filter::{Decision, DistanceFilter, FilterReference};
 pub use node::MobileNode;
-pub use pipeline::{MobileGridSim, SimBuilder, TickStats};
+pub use pipeline::{error_bucket_spec, MobileGridSim, SimBuilder, TickStats};
+pub use runtime::{FaultSpec, RuntimeOptions, SimError};
 pub use policy::{AdaptiveDistanceFilter, FilterPolicy, GeneralDistanceFilter, IdealPolicy};
 pub use stats::{KindTally, RegionTally};

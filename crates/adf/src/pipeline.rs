@@ -2,12 +2,16 @@ use mobigrid_campus::RegionKind;
 use mobigrid_geo::Point;
 use mobigrid_sim::par::ShardPool;
 use mobigrid_sim::stats::Rmse;
+use mobigrid_telemetry::{
+    BucketSpec, EventKind, HistogramDelta, LinkFate, NoopRecorder, Phase, Recorder,
+};
 use mobigrid_wireless::{
     event_noise, AccessNetwork, DropCause, FaultChannel, FaultPlan, LinkEvent, LocationUpdate,
     MnId, RetryPolicy, SALT_RETRY_JITTER,
 };
 
 use crate::broker::{BrokerDelta, BrokerShard};
+use crate::runtime::{FaultSpec, RuntimeOptions, SimError};
 use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
 
 /// Nodes per shard in the parallel tick phases.
@@ -17,6 +21,16 @@ use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, Regio
 /// reduction below are bit-identical whether a tick runs on one thread or
 /// many. Threads only decide *where* a shard executes.
 const SHARD_SIZE: usize = 64;
+
+/// The fixed log-spaced bucket boundaries both per-node location-error
+/// histograms (`sim.err_with_le`, `sim.err_without_le`) are recorded
+/// over: 20 buckets from 0.125 m doubling up to ~65 km, plus underflow
+/// and overflow. Fixed boundaries are what make per-shard
+/// [`HistogramDelta`]s exactly mergeable in shard order.
+#[must_use]
+pub fn error_bucket_spec() -> BucketSpec {
+    BucketSpec::log_spaced(0.125, 2.0, 20)
+}
 
 /// Everything the experiments need from one simulation tick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,9 +79,8 @@ pub struct SimBuilder {
     policy: Option<Box<dyn FilterPolicy + Send>>,
     estimator: EstimatorKind,
     network: Option<AccessNetwork>,
-    faults: Option<(FaultPlan, u64)>,
+    runtime: RuntimeOptions,
     dt: f64,
-    threads: usize,
 }
 
 impl Default for SimBuilder {
@@ -77,9 +90,8 @@ impl Default for SimBuilder {
             policy: None,
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             network: None,
-            faults: None,
+            runtime: RuntimeOptions::default(),
             dt: 1.0,
-            threads: 1,
         }
     }
 }
@@ -129,9 +141,22 @@ impl SimBuilder {
     ///
     /// Requires [`SimBuilder::network`]; [`SimBuilder::build`] rejects a
     /// fault plan without a network to inject into.
+    ///
+    /// Convenience over [`SimBuilder::runtime`]'s `faults` field.
     #[must_use]
     pub fn faults(mut self, plan: FaultPlan, seed: u64) -> Self {
-        self.faults = Some((plan, seed));
+        self.runtime.faults = Some(FaultSpec { plan, seed });
+        self
+    }
+
+    /// Replaces the whole execution-option set at once. Unlike the
+    /// clamping convenience setters, the options pass through
+    /// [`RuntimeOptions::validate`] unchanged at build time, so
+    /// `threads: 0` or out-of-range fault rates are rejected instead of
+    /// silently adjusted.
+    #[must_use]
+    pub fn runtime(mut self, runtime: RuntimeOptions) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -146,9 +171,13 @@ impl SimBuilder {
     /// (default 1 = fully serial). Results are bit-identical for every
     /// thread count: shards are fixed-size slices of the node population
     /// and their partial results are reduced in shard order.
+    ///
+    /// Convenience over [`SimBuilder::runtime`]; `0` clamps to `1` for
+    /// backwards compatibility (pass a [`RuntimeOptions`] to have `0`
+    /// rejected instead).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.runtime.threads = threads.max(1);
         self
     }
 
@@ -156,27 +185,35 @@ impl SimBuilder {
     ///
     /// # Errors
     ///
-    /// Reports missing policy, empty/non-dense node population, invalid
-    /// estimator parameters, a non-positive tick length, an invalid fault
-    /// plan or retry policy, or a fault plan without a network.
-    pub fn build(self) -> Result<MobileGridSim, String> {
-        let policy = self.policy.ok_or("a filter policy is required")?;
+    /// Returns a [`SimError`]: missing policy, empty/non-dense node
+    /// population, invalid estimator parameters, a non-positive tick
+    /// length, invalid [`RuntimeOptions`] (zero thread budgets, fault
+    /// rates outside `[0, 1]`, bad retry policies), or a fault plan
+    /// without a network.
+    pub fn build(self) -> Result<MobileGridSim, SimError> {
+        self.runtime.validate()?;
+        let policy = self
+            .policy
+            .ok_or_else(|| SimError::Config("a filter policy is required".to_string()))?;
         if self.nodes.is_empty() {
-            return Err("at least one node is required".to_string());
+            return Err(SimError::Config("at least one node is required".to_string()));
         }
         for (i, n) in self.nodes.iter().enumerate() {
             if n.id().index() != i {
-                return Err(format!(
+                return Err(SimError::Config(format!(
                     "node ids must be dense 0..n: found {} at position {i}",
                     n.id()
-                ));
+                )));
             }
         }
         if !(self.dt.is_finite() && self.dt > 0.0) {
-            return Err(format!("dt must be positive, got {}", self.dt));
+            return Err(SimError::Config(format!(
+                "dt must be positive, got {}",
+                self.dt
+            )));
         }
-        let mut broker_le = GridBroker::new(self.estimator)?;
-        let mut broker_raw = GridBroker::new(EstimatorKind::WithoutLe)?;
+        let mut broker_le = GridBroker::new(self.estimator).map_err(SimError::Config)?;
+        let mut broker_raw = GridBroker::new(EstimatorKind::WithoutLe).map_err(SimError::Config)?;
         broker_le.ensure_nodes(self.nodes.len());
         broker_raw.ensure_nodes(self.nodes.len());
         for node in &self.nodes {
@@ -185,19 +222,25 @@ impl SimBuilder {
                 broker_raw.set_home_anchor(node.id(), anchor);
             }
         }
-        let channel = match self.faults {
-            Some((plan, seed)) => {
+        let channel = match &self.runtime.faults {
+            Some(FaultSpec { plan, seed }) => {
                 if self.network.is_none() {
-                    return Err("fault injection requires an access network".to_string());
+                    return Err(SimError::Config(
+                        "fault injection requires an access network".to_string(),
+                    ));
                 }
-                Some(FaultChannel::new(plan, seed).map_err(|e| e.to_string())?)
+                Some(FaultChannel::new(plan.clone(), *seed)?)
             }
             None => None,
         };
-        let retry_policies: Vec<Option<RetryPolicy>> =
-            self.nodes.iter().map(MobileNode::retry_policy).collect();
+        // Per-node policies win; `runtime.retry` fills the gaps.
+        let retry_policies: Vec<Option<RetryPolicy>> = self
+            .nodes
+            .iter()
+            .map(|n| n.retry_policy().or(self.runtime.retry))
+            .collect();
         for policy in retry_policies.iter().flatten() {
-            policy.validate().map_err(|e| e.to_string())?;
+            policy.validate()?;
         }
         let seqs = vec![0u32; self.nodes.len()];
         let retry = vec![RetryState::IDLE; self.nodes.len()];
@@ -217,7 +260,8 @@ impl SimBuilder {
             tick: 0,
             seqs,
             cumulative: RegionTally::new(),
-            pool: ShardPool::new(self.threads),
+            pool: ShardPool::new(self.runtime.threads),
+            prev_stale: 0,
             scratch,
         })
     }
@@ -349,6 +393,9 @@ pub struct MobileGridSim {
     seqs: Vec<u32>,
     cumulative: RegionTally,
     pool: ShardPool,
+    /// Stale-node count at the end of the previous tick, for the
+    /// telemetry staleness-transition event.
+    prev_stale: u32,
     scratch: TickScratch,
 }
 
@@ -396,6 +443,13 @@ struct ShardOut {
     bld_raw: Rmse,
     le_delta: BrokerDelta,
     raw_delta: BrokerDelta,
+    /// Per-node location-error histograms over [`error_bucket_spec`]
+    /// buckets, filled only when a recorder is enabled. Like the RMSE
+    /// partials they are merged in shard order — and because a
+    /// [`HistogramDelta`] merge is pure integer adds plus f64 min/max,
+    /// the merged result is bit-identical under *any* order.
+    err_le: HistogramDelta,
+    err_raw: HistogramDelta,
 }
 
 impl MobileGridSim {
@@ -479,7 +533,37 @@ impl MobileGridSim {
     /// `crates/bench/tests/zero_alloc.rs`. With more threads the only
     /// allocations are the executor's transient spawn scaffolding.
     pub fn step(&mut self) -> TickStats {
+        self.step_recorded(&mut NoopRecorder)
+    }
+
+    /// Executes one tick like [`MobileGridSim::step`], streaming telemetry
+    /// into `rec`.
+    ///
+    /// With the default [`NoopRecorder`] this is exactly [`step`]
+    /// (`MobileGridSim::step` simply delegates here): every emission site
+    /// is either a no-op virtual call or gated on [`Recorder::enabled`],
+    /// so the tick path stays allocation-free and the golden traces stay
+    /// bit-exact. With an enabled recorder each tick emits:
+    ///
+    /// - **spans** for the four phases (`observe`, `filter`, `transmit`,
+    ///   `estimate`), stamped with the logical tick clock;
+    /// - **events** for every filter decision, every link fate (delivered,
+    ///   duplicate, deferred, arrived-late, dropped by cause) and every
+    ///   change in the stale-node count;
+    /// - **counters** mirroring [`TickStats`] exactly (`sim.sent` summed
+    ///   over a run equals the sum of `TickStats::sent`, and so on);
+    /// - **gauges** for the instantaneous values (time, RMSEs, stale
+    ///   nodes, broker and network totals);
+    /// - two per-node location-error **histograms**
+    ///   (`sim.err_with_le` / `sim.err_without_le`) over the fixed
+    ///   [`error_bucket_spec`] buckets, accumulated per shard and merged
+    ///   in shard order so they are bit-identical at every thread count.
+    ///
+    /// [`step`]: MobileGridSim::step
+    pub fn step_recorded(&mut self, rec: &mut dyn Recorder) -> TickStats {
+        let recording = rec.enabled();
         self.tick += 1;
+        rec.tick_start(self.tick);
         let time_s = self.tick as f64 * self.dt;
         let dt = self.dt;
         let scratch = &mut self.scratch;
@@ -499,10 +583,21 @@ impl MobileGridSim {
             },
         );
 
+        rec.span(Phase::Observe, scratch.observations.len() as u64);
+
         // 2. Filter — sequential: the ADF clusters across all nodes.
         self.policy
             .process_tick(time_s, &scratch.observations, &mut scratch.decisions);
         debug_assert_eq!(scratch.decisions.len(), scratch.observations.len());
+        if recording {
+            for ((id, _), decision) in scratch.observations.iter().zip(&scratch.decisions) {
+                rec.event(EventKind::FilterDecision {
+                    node: id.raw(),
+                    sent: matches!(decision, Decision::Sent),
+                });
+            }
+        }
+        rec.span(Phase::Filter, scratch.decisions.len() as u64);
 
         // 2b. Route transmitted updates through the access network (and the
         //     fault channel, when one is attached), in node order. When a
@@ -513,6 +608,7 @@ impl MobileGridSim {
         let mut retries = 0u32;
         let mut lost = 0u32;
         let mut late = 0u32;
+        let mut on_air = 0u64;
         let routed = if let Some(net) = self.network.as_mut() {
             // Deferred frames due now reach the brokers before anything
             // sent this tick, so their (older) timestamps stay in order.
@@ -522,6 +618,12 @@ impl MobileGridSim {
                 for lu in &scratch.late_lus {
                     self.broker_le.receive(lu);
                     self.broker_raw.receive(lu);
+                    if recording {
+                        rec.event(EventKind::LinkFate {
+                            node: lu.node.raw(),
+                            fate: LinkFate::ArrivedLate,
+                        });
+                    }
                 }
                 late = scratch.late_lus.len() as u32;
             }
@@ -556,6 +658,31 @@ impl MobileGridSim {
                         },
                     },
                 };
+                on_air += 1;
+                if recording {
+                    let fate = match &event {
+                        LinkEvent::Delivered {
+                            duplicate: false, ..
+                        } => LinkFate::Delivered,
+                        LinkEvent::Delivered {
+                            duplicate: true, ..
+                        } => LinkFate::DeliveredDuplicate,
+                        LinkEvent::Deferred { .. } => LinkFate::Deferred,
+                        LinkEvent::Dropped {
+                            cause: DropCause::NoCoverage,
+                        } => LinkFate::DroppedNoCoverage,
+                        LinkEvent::Dropped {
+                            cause: DropCause::Fault,
+                        } => LinkFate::DroppedFault,
+                        LinkEvent::Dropped {
+                            cause: DropCause::Corrupted,
+                        } => LinkFate::DroppedCorrupted,
+                    };
+                    rec.event(EventKind::LinkFate {
+                        node: id.raw(),
+                        fate,
+                    });
+                }
                 *out = match event {
                     LinkEvent::Delivered { duplicate, .. } => {
                         *state = RetryState::IDLE;
@@ -603,6 +730,7 @@ impl MobileGridSim {
             false
         };
         let link: Option<&[LinkOutcome]> = routed.then_some(&scratch.link);
+        rec.span(Phase::Transmit, on_air);
 
         // 3+4 fused, shard-parallel: apply each decision to both brokers
         // and measure location error against ground truth — the paper's
@@ -629,8 +757,9 @@ impl MobileGridSim {
                 le,
                 raw,
             });
-        self.pool
-            .run_into(jobs, &mut scratch.outs, |_, job| Self::run_shard(time_s, job));
+        self.pool.run_into(jobs, &mut scratch.outs, |_, job| {
+            Self::run_shard(time_s, recording, job)
+        });
 
         // Shard-ordered reduction: exact for the integer tallies, and a
         // fixed floating-point summation order for the RMSE partials.
@@ -643,6 +772,8 @@ impl MobileGridSim {
         let mut road_raw = Rmse::new();
         let mut bld_le = Rmse::new();
         let mut bld_raw = Rmse::new();
+        let mut err_le = HistogramDelta::new(error_bucket_spec());
+        let mut err_raw = HistogramDelta::new(error_bucket_spec());
         for out in &scratch.outs {
             sent += out.sent;
             stale_nodes += out.stale;
@@ -653,10 +784,65 @@ impl MobileGridSim {
             road_raw.merge(&out.road_raw);
             bld_le.merge(&out.bld_le);
             bld_raw.merge(&out.bld_raw);
+            if recording {
+                err_le.merge(&out.err_le);
+                err_raw.merge(&out.err_raw);
+            }
             self.broker_le.apply_delta(&out.le_delta);
             self.broker_raw.apply_delta(&out.raw_delta);
         }
         self.cumulative.merge(&tick_tally);
+        rec.span(Phase::Estimate, scratch.observations.len() as u64);
+
+        if recording {
+            rec.histogram_merge("sim.err_with_le", &err_le);
+            rec.histogram_merge("sim.err_without_le", &err_raw);
+
+            rec.counter_add("sim.ticks", 1);
+            rec.counter_add("sim.observed", u64::from(scratch.observations.len() as u32));
+            rec.counter_add("sim.sent", u64::from(sent));
+            rec.counter_add("sim.retries", u64::from(retries));
+            rec.counter_add("sim.lost", u64::from(lost));
+            rec.counter_add("sim.late", u64::from(late));
+            rec.counter_add("sim.road.sent", tick_tally.road.sent);
+            rec.counter_add("sim.road.observed", tick_tally.road.observed);
+            rec.counter_add("sim.building.sent", tick_tally.building.sent);
+            rec.counter_add("sim.building.observed", tick_tally.building.observed);
+
+            rec.gauge_set("sim.time_s", time_s);
+            rec.gauge_set("sim.stale_nodes", f64::from(stale_nodes));
+            rec.gauge_set("sim.rmse_with_le", all_le.value());
+            rec.gauge_set("sim.rmse_without_le", all_raw.value());
+            rec.gauge_set("sim.road.rmse_with_le", road_le.value());
+            rec.gauge_set("sim.road.rmse_without_le", road_raw.value());
+            rec.gauge_set("sim.building.rmse_with_le", bld_le.value());
+            rec.gauge_set("sim.building.rmse_without_le", bld_raw.value());
+
+            rec.gauge_set("broker.le.received", self.broker_le.received_count() as f64);
+            rec.gauge_set("broker.le.estimated", self.broker_le.estimated_count() as f64);
+            rec.gauge_set("broker.le.lost", self.broker_le.lost_count() as f64);
+            rec.gauge_set("broker.le.rejected", self.broker_le.rejected_count() as f64);
+            rec.gauge_set("broker.raw.received", self.broker_raw.received_count() as f64);
+            rec.gauge_set(
+                "broker.raw.estimated",
+                self.broker_raw.estimated_count() as f64,
+            );
+            rec.gauge_set("broker.raw.lost", self.broker_raw.lost_count() as f64);
+            rec.gauge_set("broker.raw.rejected", self.broker_raw.rejected_count() as f64);
+            if let Some(net) = &self.network {
+                net.record_telemetry(rec);
+            }
+            if let Some(ch) = &self.channel {
+                ch.record_telemetry(rec);
+            }
+            if stale_nodes != self.prev_stale {
+                rec.event(EventKind::StalenessTransition {
+                    stale_nodes,
+                    previous: self.prev_stale,
+                });
+            }
+        }
+        self.prev_stale = stale_nodes;
 
         TickStats {
             time_s,
@@ -677,8 +863,9 @@ impl MobileGridSim {
     }
 
     /// Applies one shard's decisions to both broker shards and accumulates
-    /// the shard's tally and RMSE partials.
-    fn run_shard(time_s: f64, mut job: ShardJob<'_>) -> ShardOut {
+    /// the shard's tally and RMSE partials (plus, when `record` is set, the
+    /// per-node location-error histograms).
+    fn run_shard(time_s: f64, record: bool, mut job: ShardJob<'_>) -> ShardOut {
         let mut out = ShardOut {
             sent: 0,
             stale: 0,
@@ -691,6 +878,8 @@ impl MobileGridSim {
             bld_raw: Rmse::new(),
             le_delta: BrokerDelta::default(),
             raw_delta: BrokerDelta::default(),
+            err_le: HistogramDelta::new(error_bucket_spec()),
+            err_raw: HistogramDelta::new(error_bucket_spec()),
         };
         for (i, (id, pos)) in job.observations.iter().enumerate() {
             let kind = job.kinds[i];
@@ -762,6 +951,10 @@ impl MobileGridSim {
                 .map_or(0.0, |r| r.position.distance_to(*pos));
             out.all_le.push(err_le);
             out.all_raw.push(err_raw);
+            if record {
+                out.err_le.record(err_le);
+                out.err_raw.record(err_raw);
+            }
             match kind {
                 RegionKind::Road => {
                     out.road_le.push(err_le);
@@ -782,6 +975,12 @@ impl MobileGridSim {
     /// Runs `ticks` steps, collecting every tick's statistics.
     pub fn run(&mut self, ticks: u64) -> Vec<TickStats> {
         (0..ticks).map(|_| self.step()).collect()
+    }
+
+    /// Runs `ticks` steps like [`MobileGridSim::run`], streaming telemetry
+    /// into `rec` (see [`MobileGridSim::step_recorded`]).
+    pub fn run_recorded(&mut self, ticks: u64, rec: &mut dyn Recorder) -> Vec<TickStats> {
+        (0..ticks).map(|_| self.step_recorded(rec)).collect()
     }
 }
 
@@ -903,7 +1102,7 @@ mod tests {
             .policy(IdealPolicy::new())
             .build()
             .unwrap_err();
-        assert!(err.contains("dense"));
+        assert!(err.to_string().contains("dense"));
         // Bad dt.
         let err = SimBuilder::new()
             .nodes(vec![walker(0, 1.0)])
@@ -911,7 +1110,18 @@ mod tests {
             .dt(0.0)
             .build()
             .unwrap_err();
-        assert!(err.contains("dt"));
+        assert!(err.to_string().contains("dt"));
+        // RuntimeOptions pass through validation unclamped.
+        let err = SimBuilder::new()
+            .nodes(vec![walker(0, 1.0)])
+            .policy(IdealPolicy::new())
+            .runtime(RuntimeOptions {
+                threads: 0,
+                ..RuntimeOptions::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("threads"), "got: {err}");
     }
 
     #[test]
@@ -993,7 +1203,7 @@ mod tests {
             .faults(FaultPlan::lossless(), 9)
             .build()
             .unwrap_err();
-        assert!(err.contains("network"), "got: {err}");
+        assert!(err.to_string().contains("network"), "got: {err}");
     }
 
     #[test]
@@ -1150,6 +1360,53 @@ mod tests {
             .map(|s| u64::from(s.lost) + u64::from(s.late) + u64::from(s.retries))
             .sum();
         assert!(faults > 0, "the fault plan injected nothing");
+    }
+
+    /// A recorded run must mirror [`TickStats`] exactly, and the recorded
+    /// telemetry — counters, histograms, events — must be bit-identical at
+    /// every thread count, same as the stats themselves.
+    #[test]
+    fn recorded_telemetry_matches_tick_stats_and_thread_count() {
+        use mobigrid_telemetry::MemoryRecorder;
+        let build = |threads: usize| {
+            let nodes: Vec<MobileNode> = (0..150u32)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        parked(i)
+                    } else {
+                        walker(i, 1.0 + f64::from(i % 7))
+                    }
+                })
+                .collect();
+            SimBuilder::new()
+                .nodes(nodes)
+                .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+                .network(wide_net())
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let mut exports = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut sim = build(threads);
+            let mut rec = MemoryRecorder::new();
+            let stats = sim.run_recorded(60, &mut rec);
+            let sent: u64 = stats.iter().map(|s| u64::from(s.sent)).sum();
+            let observed: u64 = stats.iter().map(|s| u64::from(s.observed)).sum();
+            assert_eq!(rec.counter("sim.ticks"), 60);
+            assert_eq!(rec.counter("sim.sent"), sent);
+            assert_eq!(rec.counter("sim.observed"), observed);
+            assert_eq!(
+                rec.counter("sim.road.sent") + rec.counter("sim.building.sent"),
+                sent
+            );
+            let hist = rec.histogram("sim.err_with_le").expect("histogram recorded");
+            assert_eq!(hist.count(), observed, "one error sample per observation");
+            assert!(rec.events().count() > 0, "filter decisions must be recorded");
+            exports.push(rec.to_jsonl());
+        }
+        assert_eq!(exports[0], exports[1], "2 threads changed the telemetry");
+        assert_eq!(exports[0], exports[2], "4 threads changed the telemetry");
     }
 
     /// The sharded executor must be invisible in the results: a 150-node

@@ -161,6 +161,33 @@ fn post_warmup_ticks_do_not_allocate() {
     assert!(sim.network().expect("attached").meter().messages() > 0);
 }
 
+/// The telemetry hooks must not cost the tick path its zero-allocation
+/// property: with the default no-op recorder explicitly installed,
+/// [`MobileGridSim::step_recorded`] is the same allocation-free loop as
+/// [`MobileGridSim::step`].
+#[test]
+fn post_warmup_recorded_ticks_with_noop_recorder_do_not_allocate() {
+    use mobigrid_telemetry::NoopRecorder;
+    let mut sim = steady_state_sim();
+    let mut rec = NoopRecorder;
+    for _ in 0..60 {
+        sim.step_recorded(&mut rec);
+    }
+
+    let before = allocation_count();
+    let mut sent = 0u64;
+    for _ in 0..30 {
+        sent += u64::from(sim.step_recorded(&mut rec).sent);
+    }
+    let allocations = allocation_count() - before;
+
+    assert_eq!(
+        allocations, 0,
+        "steady-state recorded ticks allocated {allocations} times"
+    );
+    assert!(sent > 0, "measured window transmitted nothing");
+}
+
 #[test]
 fn warmup_is_where_the_allocations_happen() {
     // Sanity check on the methodology: the same counter does see the

@@ -1,33 +1,10 @@
-//! Regenerates every table and figure of the paper's evaluation in one run.
-
-mod common;
-
-use mobigrid_experiments::{campaign, fig4, fig5, fig6, fig7, fig89, table1};
+//! Regenerates every table and figure of the paper's evaluation in one run,
+//! sharing a single campaign across all campaign-backed reports.
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cfg = common::config_from_args();
-    println!(
-        "== Reproduction run: seed {} / {} ticks ==\n",
-        cfg.seed, cfg.duration_ticks
-    );
-
-    println!("{}", table1::compute());
-
-    let data = campaign::run_campaign_parallel(&cfg);
-    println!("{}", fig4::compute(&data));
-    println!("{}", fig5::compute(&data));
-    println!("{}", fig6::compute(&data));
-    println!("{}", fig7::compute(&data));
-    println!("{}", fig89::compute(&data));
-
-    println!(
-        "network accounting (ideal run): {} messages / {} bytes",
-        data.ideal.network_messages, data.ideal.network_bytes
-    );
-    for (factor, run) in &data.adf {
-        println!(
-            "network accounting (adf {factor:.2}av): {} messages / {} bytes",
-            run.network_messages, run.network_bytes
-        );
-    }
+    mobigrid_experiments::cli::main_named(Some("all"));
 }

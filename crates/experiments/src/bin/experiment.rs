@@ -1,9 +1,10 @@
-//! Scalability sweep: the ADF on grid cities of growing size.
+//! Unified experiment runner: `--experiment <name>` selects any registry entry,
+//! `--list` shows them all.
 //!
 //! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
 //! for the full flag surface (`--ticks`, `--threads`, `--csv`,
 //! `--telemetry`, ...).
 
 fn main() {
-    mobigrid_experiments::cli::main_named(Some("scalability"));
+    mobigrid_experiments::cli::main_named(None);
 }

@@ -1,11 +1,9 @@
 //! Runs the extension experiments: energy saving and outage resilience.
-
-mod common;
-
-use mobigrid_experiments::extensions;
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cfg = common::config_from_args();
-    println!("{}", extensions::energy_extension(&cfg));
-    println!("{}", extensions::outage_resilience(&cfg));
+    mobigrid_experiments::cli::main_named(Some("extensions"));
 }

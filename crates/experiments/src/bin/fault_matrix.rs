@@ -1,20 +1,9 @@
-//! Runs the fault-matrix experiment: the ADF's traffic/accuracy trade-off
-//! across a loss-rate × DTH-factor grid on a deterministic lossy channel.
-
-mod common;
-
-use mobigrid_experiments::fault_matrix::{self, FaultMatrixConfig};
+//! Runs the fault-matrix experiment on a deterministic lossy channel.
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cli = common::parse_cli();
-    let cfg = FaultMatrixConfig {
-        base: cli.config,
-        ..FaultMatrixConfig::default()
-    };
-    let data = fault_matrix::compute(&cfg);
-    if cli.csv {
-        print!("{}", data.csv());
-    } else {
-        print!("{data}");
-    }
+    mobigrid_experiments::cli::main_named(Some("fault_matrix"));
 }

@@ -1,18 +1,9 @@
 //! Regenerates Figure 4 (transmitted LUs per second).
 //!
-//! Pass `--csv` for machine-readable output.
-
-mod common;
-
-use mobigrid_experiments::{campaign, fig4};
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cli = common::parse_cli();
-    let data = campaign::run_campaign_parallel(&cli.config);
-    let fig = fig4::compute(&data);
-    if cli.csv {
-        print!("{}", fig.to_csv());
-    } else {
-        println!("{fig}");
-    }
+    mobigrid_experiments::cli::main_named(Some("fig4"));
 }

@@ -1,34 +1,9 @@
-//! Regenerates Figure 8. RMSE by region, without LE (metres).
+//! Regenerates Figure 8 (RMSE by region, without LE).
 //!
-//! Pass `--csv` for machine-readable output (both broker arms).
-
-mod common;
-
-use mobigrid_experiments::{campaign, fig89, report};
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cli = common::parse_cli();
-    let data = campaign::run_campaign_parallel(&cli.config);
-    let fig = fig89::compute(&data);
-    if cli.csv {
-        print!("{}", fig.to_csv());
-        return;
-    }
-    println!("Figure 8. RMSE by region, without LE (metres)");
-    let rows: Vec<Vec<String>> = fig
-        .without_le
-        .iter()
-        .map(|r| {
-            vec![
-                format!("{:.2}av", r.factor),
-                format!("{:.3}", r.road),
-                format!("{:.3}", r.building),
-                format!("{:.2}x", r.road_to_building_ratio()),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::text_table(&["DTH", "road", "building", "road/building"], &rows)
-    );
+    mobigrid_experiments::cli::main_named(Some("fig8"));
 }

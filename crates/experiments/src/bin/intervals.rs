@@ -1,13 +1,9 @@
-//! Inter-update interval analysis: gap distributions per mobility pattern
-//! at each DTH factor.
-
-mod common;
-
-use mobigrid_experiments::intervals;
+//! Inter-update interval analysis per mobility pattern.
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cfg = common::config_from_args();
-    for factor in cfg.dth_factors.clone() {
-        println!("{}", intervals::measure_intervals(&cfg, factor));
-    }
+    mobigrid_experiments::cli::main_named(Some("intervals"));
 }

@@ -1,12 +1,9 @@
-//! Seed-sweep robustness check: repeats the campaign over several seeds and
-//! reports mean ± std of every headline metric.
-
-mod common;
-
-use mobigrid_experiments::robustness;
+//! Seed-sweep robustness check across several workload seeds.
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    let cfg = common::config_from_args();
-    let seeds: Vec<u64> = (1..=5).map(|i| cfg.seed.wrapping_add(i)).collect();
-    println!("{}", robustness::sweep_seeds(&cfg, &seeds));
+    mobigrid_experiments::cli::main_named(Some("seeds"));
 }

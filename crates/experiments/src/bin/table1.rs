@@ -1,5 +1,9 @@
 //! Regenerates Table 1 (the mobile-node specification).
+//!
+//! Thin shim over the shared experiment CLI — see `mobigrid_experiments::cli`
+//! for the full flag surface (`--ticks`, `--threads`, `--csv`,
+//! `--telemetry`, ...).
 
 fn main() {
-    println!("{}", mobigrid_experiments::table1::compute());
+    mobigrid_experiments::cli::main_named(Some("table1"));
 }

@@ -7,6 +7,7 @@ use mobigrid_adf::{
 };
 use mobigrid_campus::Campus;
 use mobigrid_sim::par::ShardPool;
+use mobigrid_telemetry::{NoopRecorder, Recorder};
 
 use crate::config::ExperimentConfig;
 use crate::workload;
@@ -83,7 +84,7 @@ fn build_sim(cfg: &ExperimentConfig, campus: &Campus, spec: PolicySpec) -> Mobil
     let builder = SimBuilder::new()
         .nodes(nodes)
         .estimator(cfg.estimator)
-        .threads(cfg.threads);
+        .runtime(cfg.runtime.clone());
     let builder = if cfg.with_network {
         builder.network(workload::default_network(campus))
     } else {
@@ -114,9 +115,20 @@ fn build_sim(cfg: &ExperimentConfig, campus: &Campus, spec: PolicySpec) -> Mobil
 /// Runs a single policy over the full workload.
 #[must_use]
 pub fn run_policy(cfg: &ExperimentConfig, spec: PolicySpec) -> RunResult {
+    run_policy_recorded(cfg, spec, &mut NoopRecorder)
+}
+
+/// Runs a single policy over the full workload, streaming telemetry into
+/// `rec` (see [`MobileGridSim::step_recorded`]).
+#[must_use]
+pub fn run_policy_recorded(
+    cfg: &ExperimentConfig,
+    spec: PolicySpec,
+    rec: &mut dyn Recorder,
+) -> RunResult {
     let campus = Campus::inha_like();
     let mut sim = build_sim(cfg, &campus, spec);
-    let ticks = sim.run(cfg.duration_ticks);
+    let ticks = sim.run_recorded(cfg.duration_ticks, rec);
     let (network_messages, network_bytes) = sim
         .network()
         .map_or((0, 0), |n| (n.meter().messages(), n.meter().bytes()));
@@ -169,14 +181,36 @@ pub fn run_campaign(cfg: &ExperimentConfig) -> CampaignData {
 /// runs parallelize with `campaign_threads`, and the two compose.
 #[must_use]
 pub fn run_campaign_parallel(cfg: &ExperimentConfig) -> CampaignData {
+    run_campaign_recorded(cfg, &mut NoopRecorder)
+}
+
+/// Runs the campaign like [`run_campaign_parallel`], streaming telemetry
+/// into `rec`.
+///
+/// Each parallel run records into a private child recorder obtained with
+/// [`Recorder::fork`]; after the pool returns, the children are absorbed
+/// back into `rec` **in submission order** — the same fixed-order
+/// reduction the tick pipeline uses for its shard partials — so the
+/// merged telemetry is bit-identical for every `campaign_threads` value.
+#[must_use]
+pub fn run_campaign_recorded(cfg: &ExperimentConfig, rec: &mut dyn Recorder) -> CampaignData {
     let mut specs = Vec::with_capacity(cfg.dth_factors.len() + 1);
     specs.push(PolicySpec::Ideal);
     specs.extend(cfg.dth_factors.iter().map(|&f| PolicySpec::Adf(f)));
-    let mut results = ShardPool::new(cfg.campaign_threads)
-        .run(specs, |_, spec| run_policy(cfg, spec))
-        .into_iter();
-    let ideal = results.next().expect("the ideal run always executes");
-    let adf = cfg.dth_factors.iter().copied().zip(results).collect();
+    let parent: &dyn Recorder = rec;
+    let results = ShardPool::new(cfg.runtime.campaign_threads).run(specs, |_, spec| {
+        let mut child = parent.fork();
+        let run = run_policy_recorded(cfg, spec, child.as_mut());
+        (run, child)
+    });
+    let mut runs = Vec::with_capacity(results.len());
+    for (run, child) in results {
+        rec.absorb(child);
+        runs.push(run);
+    }
+    let mut runs = runs.into_iter();
+    let ideal = runs.next().expect("the ideal run always executes");
+    let adf = cfg.dth_factors.iter().copied().zip(runs).collect();
     CampaignData {
         config: cfg.clone(),
         ideal,
@@ -244,14 +278,32 @@ mod tests {
     fn parallel_campaign_is_bit_identical_to_serial() {
         let serial = run_campaign(&quick());
         for campaign_threads in [1, 2, 4] {
-            let cfg = ExperimentConfig {
-                campaign_threads,
-                ..quick()
-            };
+            let cfg = quick().with_campaign_threads(campaign_threads);
             let parallel = run_campaign_parallel(&cfg);
             assert_eq!(parallel.ideal, serial.ideal);
             assert_eq!(parallel.adf, serial.adf);
         }
+    }
+
+    #[test]
+    fn recorded_campaign_telemetry_is_campaign_thread_invariant() {
+        use mobigrid_telemetry::MemoryRecorder;
+        let mut exports = Vec::new();
+        for campaign_threads in [1, 2, 4] {
+            let cfg = ExperimentConfig {
+                duration_ticks: 60,
+                ..ExperimentConfig::default()
+            }
+            .with_campaign_threads(campaign_threads);
+            let mut rec = MemoryRecorder::new();
+            let data = run_campaign_recorded(&cfg, &mut rec);
+            let expected: u64 = data.ideal.total_sent()
+                + data.adf.iter().map(|(_, r)| r.total_sent()).sum::<u64>();
+            assert_eq!(rec.counter("sim.sent"), expected);
+            exports.push(rec.to_jsonl());
+        }
+        assert_eq!(exports[0], exports[1]);
+        assert_eq!(exports[0], exports[2]);
     }
 
     #[test]

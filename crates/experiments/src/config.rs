@@ -1,10 +1,15 @@
 //! Experiment configuration with the paper's defaults.
 
-use mobigrid_adf::{AdfConfig, EstimatorKind};
+use mobigrid_adf::{AdfConfig, EstimatorKind, RuntimeOptions};
 
 /// Knobs for one evaluation campaign. Defaults reproduce §4: 140 nodes,
 /// 1800 s at 1 s ticks, DTH factors {0.75, 1.0, 1.25}, Brown location
 /// estimation.
+///
+/// Execution knobs (thread budgets, fault injection, default retry
+/// policy) live in the typed [`RuntimeOptions`] struct; they change how
+/// a campaign executes but — by the determinism contract — never what it
+/// computes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Master seed; the whole campaign is a pure function of it.
@@ -19,15 +24,11 @@ pub struct ExperimentConfig {
     pub estimator: EstimatorKind,
     /// Attach the wireless access network for traffic accounting.
     pub with_network: bool,
-    /// Worker threads for the parallel tick phases (default 1 = serial).
-    /// Results are bit-identical for every value — see
-    /// [`mobigrid_adf::SimBuilder::threads`].
-    pub threads: usize,
-    /// Worker threads for running whole campaign runs (the ideal baseline
-    /// plus one run per DTH factor) concurrently (default 1 = serial).
-    /// Results are bit-identical for every value — see
-    /// [`crate::campaign::run_campaign_parallel`].
-    pub campaign_threads: usize,
+    /// Execution options, validated at simulation build time. `threads`
+    /// parallelizes ticks within one run, `campaign_threads` parallelizes
+    /// whole runs, and the two compose; results are bit-identical for
+    /// every combination.
+    pub runtime: RuntimeOptions,
 }
 
 impl Default for ExperimentConfig {
@@ -39,8 +40,7 @@ impl Default for ExperimentConfig {
             adf: AdfConfig::new(1.0),
             estimator: EstimatorKind::Brown { alpha: 0.5 },
             with_network: true,
-            threads: 1,
-            campaign_threads: 1,
+            runtime: RuntimeOptions::default(),
         }
     }
 }
@@ -54,6 +54,13 @@ impl ExperimentConfig {
             ..ExperimentConfig::default()
         }
     }
+
+    /// Returns a copy with the given campaign-level thread budget.
+    #[must_use]
+    pub fn with_campaign_threads(mut self, campaign_threads: usize) -> Self {
+        self.runtime.campaign_threads = campaign_threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +72,7 @@ mod tests {
         let c = ExperimentConfig::default();
         assert_eq!(c.duration_ticks, 1800);
         assert_eq!(c.dth_factors, vec![0.75, 1.0, 1.25]);
+        assert_eq!(c.runtime, RuntimeOptions::default());
     }
 
     #[test]

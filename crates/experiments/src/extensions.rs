@@ -193,7 +193,7 @@ pub fn outage_resilience(cfg: &ExperimentConfig) -> OutageReport {
             .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).expect("valid"))
             .estimator(cfg.estimator)
             .network(network)
-            .threads(cfg.threads)
+            .threads(cfg.runtime.threads)
             .build()
             .expect("valid simulation");
         let stats = sim.run(cfg.duration_ticks);

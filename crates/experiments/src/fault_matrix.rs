@@ -17,9 +17,10 @@
 
 use std::fmt;
 
-use mobigrid_adf::{AdaptiveDistanceFilter, AdfConfig, SimBuilder};
+use mobigrid_adf::{AdaptiveDistanceFilter, AdfConfig, FaultSpec, RuntimeOptions, SimBuilder};
 use mobigrid_campus::Campus;
 use mobigrid_sim::par::ShardPool;
+use mobigrid_telemetry::{NoopRecorder, Recorder};
 use mobigrid_wireless::{FaultPlan, RetryPolicy};
 
 use crate::config::ExperimentConfig;
@@ -99,25 +100,42 @@ pub struct FaultCell {
 /// Runs one cell of the matrix.
 #[must_use]
 pub fn run_cell(cfg: &FaultMatrixConfig, loss_rate: f64, dth_factor: f64) -> FaultCell {
+    run_cell_recorded(cfg, loss_rate, dth_factor, &mut NoopRecorder)
+}
+
+/// Runs one cell of the matrix, streaming telemetry into `rec`.
+#[must_use]
+pub fn run_cell_recorded(
+    cfg: &FaultMatrixConfig,
+    loss_rate: f64,
+    dth_factor: f64,
+    rec: &mut dyn Recorder,
+) -> FaultCell {
     let campus = Campus::inha_like();
-    let nodes = workload::generate_population(&campus, cfg.base.seed)
-        .into_iter()
-        .map(|n| n.with_retry_policy(cfg.retry))
-        .collect();
+    let nodes = workload::generate_population(&campus, cfg.base.seed);
     let adf_cfg = AdfConfig {
         dth_factor,
         ..cfg.base.adf
+    };
+    // The cell's fault plan and the shared retry default ride on the
+    // base runtime options, so `--threads` still applies per tick.
+    let runtime = RuntimeOptions {
+        faults: Some(FaultSpec {
+            plan: cfg.plan_for(loss_rate),
+            seed: cfg.fault_seed,
+        }),
+        retry: Some(cfg.retry),
+        ..cfg.base.runtime.clone()
     };
     let mut sim = SimBuilder::new()
         .nodes(nodes)
         .policy(AdaptiveDistanceFilter::new(adf_cfg).expect("validated configuration"))
         .estimator(cfg.base.estimator)
         .network(workload::default_network(&campus))
-        .faults(cfg.plan_for(loss_rate), cfg.fault_seed)
-        .threads(cfg.base.threads)
+        .runtime(runtime)
         .build()
         .expect("validated configuration");
-    let ticks = sim.run(cfg.base.duration_ticks);
+    let ticks = sim.run_recorded(cfg.base.duration_ticks, rec);
     let n = ticks.len().max(1) as f64;
     FaultCell {
         loss_rate,
@@ -148,14 +166,32 @@ pub struct FaultMatrixData {
 /// thread count.
 #[must_use]
 pub fn compute(cfg: &FaultMatrixConfig) -> FaultMatrixData {
+    compute_recorded(cfg, &mut NoopRecorder)
+}
+
+/// Computes every cell like [`compute`], streaming telemetry into `rec`.
+/// Each cell records into a forked child recorder; children are absorbed
+/// in submission (row-major) order, so the merged telemetry is
+/// bit-identical for every thread count.
+#[must_use]
+pub fn compute_recorded(cfg: &FaultMatrixConfig, rec: &mut dyn Recorder) -> FaultMatrixData {
     let mut specs = Vec::with_capacity(cfg.loss_rates.len() * cfg.base.dth_factors.len());
     for &loss in &cfg.loss_rates {
         for &factor in &cfg.base.dth_factors {
             specs.push((loss, factor));
         }
     }
-    let cells = ShardPool::new(cfg.base.campaign_threads)
-        .run(specs, |_, (loss, factor)| run_cell(cfg, loss, factor));
+    let parent: &dyn Recorder = rec;
+    let results = ShardPool::new(cfg.base.runtime.campaign_threads).run(specs, |_, (loss, factor)| {
+        let mut child = parent.fork();
+        let cell = run_cell_recorded(cfg, loss, factor, child.as_mut());
+        (cell, child)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (cell, child) in results {
+        rec.absorb(child);
+        cells.push(cell);
+    }
     FaultMatrixData {
         config: cfg.clone(),
         cells,
@@ -289,10 +325,7 @@ mod tests {
         let serial = compute(&quick());
         for campaign_threads in [2, 4] {
             let cfg = FaultMatrixConfig {
-                base: ExperimentConfig {
-                    campaign_threads,
-                    ..quick().base
-                },
+                base: quick().base.with_campaign_threads(campaign_threads),
                 ..quick()
             };
             assert_eq!(compute(&cfg).cells, serial.cells);

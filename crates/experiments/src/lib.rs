@@ -30,7 +30,9 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod cli;
 pub mod config;
+pub mod experiment;
 
 #[cfg(test)]
 pub(crate) mod test_support {

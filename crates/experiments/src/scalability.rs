@@ -64,7 +64,7 @@ pub fn sweep_city_sizes(cfg: &ExperimentConfig, sizes: &[(usize, usize)]) -> Sca
             .nodes(nodes)
             .policy(AdaptiveDistanceFilter::new(cfg.adf).expect("validated configuration"))
             .estimator(cfg.estimator)
-            .threads(cfg.threads)
+            .threads(cfg.runtime.threads)
             .build()
             .expect("valid simulation");
         let stats = sim.run(cfg.duration_ticks);

@@ -1,0 +1,216 @@
+//! Structured events, per-phase spans and the bounded ring they live in.
+
+use crate::clock::Stamp;
+
+/// The pipeline phase a timing span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Ground-truth advancement (phase 1).
+    Observe,
+    /// Filter-policy evaluation (phase 2).
+    Filter,
+    /// Network routing and fault-channel traversal (phase 2b).
+    Transmit,
+    /// Broker apply / estimate / measure (phases 3+4).
+    Estimate,
+}
+
+impl Phase {
+    /// The phase's stable lowercase name, as used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Observe => "observe",
+            Phase::Filter => "filter",
+            Phase::Transmit => "transmit",
+            Phase::Estimate => "estimate",
+        }
+    }
+}
+
+/// What the link did to one transmitted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Delivered to the brokers this tick.
+    Delivered,
+    /// Delivered along with a duplicate copy.
+    DeliveredDuplicate,
+    /// Deferred in flight; it will arrive on a later tick.
+    Deferred,
+    /// A previously deferred frame arrived this tick.
+    ArrivedLate,
+    /// Never reached the air: no gateway covered the sender.
+    DroppedNoCoverage,
+    /// Lost in flight by the fault channel.
+    DroppedFault,
+    /// Arrived but failed its checksum and was discarded.
+    DroppedCorrupted,
+}
+
+impl LinkFate {
+    /// The fate's stable snake_case name, as used by the exporters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkFate::Delivered => "delivered",
+            LinkFate::DeliveredDuplicate => "delivered_duplicate",
+            LinkFate::Deferred => "deferred",
+            LinkFate::ArrivedLate => "arrived_late",
+            LinkFate::DroppedNoCoverage => "dropped_no_coverage",
+            LinkFate::DroppedFault => "dropped_fault",
+            LinkFate::DroppedCorrupted => "dropped_corrupted",
+        }
+    }
+}
+
+/// One structured event. All variants are `Copy` and fixed-size so the
+/// ring never touches the heap after construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The filter policy decided whether one node's observation transmits.
+    FilterDecision {
+        /// The node's dense index.
+        node: u32,
+        /// True when the update was sent, false when filtered.
+        sent: bool,
+    },
+    /// The access network / fault channel resolved one frame's fate.
+    LinkFate {
+        /// The sending node's dense index.
+        node: u32,
+        /// What happened to the frame.
+        fate: LinkFate,
+    },
+    /// The with-LE broker's stale-node count changed.
+    StalenessTransition {
+        /// Stale nodes after this tick.
+        stale_nodes: u32,
+        /// Stale nodes after the previous tick.
+        previous: u32,
+    },
+}
+
+/// An [`EventKind`] plus the logical stamp it was recorded at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event was recorded (logical time).
+    pub stamp: Stamp,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// One per-phase timing span: which phase ran, at which logical stamp,
+/// over how many items. Spans are sampled from the monotonic tick clock —
+/// never from wall time — so a recorded trace is replay-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// When the span was recorded (logical time).
+    pub stamp: Stamp,
+    /// The phase that ran.
+    pub phase: Phase,
+    /// Items the phase processed (nodes, frames, shards — phase-specific).
+    pub items: u64,
+}
+
+/// A bounded ring buffer that keeps the most recent `capacity` items and
+/// counts how many older ones it overwrote.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_telemetry::EventRing;
+///
+/// let mut ring: EventRing<u32> = EventRing::new(2);
+/// ring.push(1);
+/// ring.push(2);
+/// ring.push(3);
+/// assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    start: usize,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// An empty ring holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an item, overwriting (and counting) the oldest one when
+    /// full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.start] = item;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.start..].iter().chain(&self.buf[..self.start])
+    }
+
+    /// Items currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring's fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_items_in_order() {
+        let mut ring: EventRing<u32> = EventRing::new(3);
+        for v in 0..7 {
+            ring.push(v);
+        }
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_everything() {
+        let mut ring: EventRing<u32> = EventRing::new(8);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

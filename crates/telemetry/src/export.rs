@@ -1,0 +1,218 @@
+//! JSONL and CSV exporters for [`MemoryRecorder`].
+//!
+//! Both formats are hand-rendered (the hermetic build carries no JSON
+//! dependency) and deterministic: metrics in name order, spans and events
+//! in recorded order. Exporting the same recorder twice — or recorders
+//! from runs at different thread counts — yields byte-identical output.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::hist::HistogramDelta;
+use crate::recorder::MemoryRecorder;
+
+/// A finite `f64` as a JSON number, anything else as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An `Option<f64>` bound as a JSON number or `null`.
+fn json_bound(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_f64)
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramDelta) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        h.count(),
+        json_bound(h.min()),
+        json_bound(h.max()),
+    );
+    let spec = h.spec();
+    let mut first = true;
+    for slot in 0..spec.slots() {
+        let count = h.bucket(slot);
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "[{},{},{count}]",
+            json_bound(spec.lower_bound(slot)),
+            json_bound(spec.upper_bound(slot)),
+        );
+    }
+    out.push_str("]}\n");
+}
+
+fn write_event_kind(out: &mut String, kind: &EventKind) {
+    match kind {
+        EventKind::FilterDecision { node, sent } => {
+            let _ = write!(out, "\"kind\":\"filter_decision\",\"node\":{node},\"sent\":{sent}");
+        }
+        EventKind::LinkFate { node, fate } => {
+            let _ = write!(out, "\"kind\":\"link_fate\",\"node\":{node},\"fate\":\"{}\"", fate.name());
+        }
+        EventKind::StalenessTransition {
+            stale_nodes,
+            previous,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"staleness\",\"stale_nodes\":{stale_nodes},\"previous\":{previous}"
+            );
+        }
+    }
+}
+
+impl MemoryRecorder {
+    /// The whole recorder as JSON Lines: one `meta` line, then counters,
+    /// gauges and histograms in name order, then spans and events in
+    /// recorded order. Every line is a standalone JSON object.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"format\":\"mobigrid-telemetry/1\",\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{},\"events\":{},\"spans_dropped\":{},\"events_dropped\":{}}}",
+            self.counters.len(),
+            self.gauges.len(),
+            self.histograms.len(),
+            self.spans.len(),
+            self.events.len(),
+            self.spans_dropped(),
+            self.events_dropped(),
+        );
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}");
+        }
+        for (name, v) in self.gauges() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{}}}",
+                json_f64(v)
+            );
+        }
+        for (name, h) in self.histograms() {
+            write_histogram(&mut out, name, h);
+        }
+        for span in self.spans() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"tick\":{},\"seq\":{},\"phase\":\"{}\",\"items\":{}}}",
+                span.stamp.tick,
+                span.stamp.seq,
+                span.phase.name(),
+                span.items,
+            );
+        }
+        for event in self.events() {
+            let _ = write!(
+                out,
+                "{{\"type\":\"event\",\"tick\":{},\"seq\":{},",
+                event.stamp.tick, event.stamp.seq
+            );
+            write_event_kind(&mut out, &event.kind);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Counters, gauges and histogram buckets as one CSV table
+    /// (`kind,name,bucket_lo,bucket_hi,value`). Spans and events are
+    /// JSONL-only.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,bucket_lo,bucket_hi,value\n");
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "counter,{name},,,{v}");
+        }
+        for (name, v) in self.gauges() {
+            let _ = writeln!(out, "gauge,{name},,,{v:?}");
+        }
+        for (name, h) in self.histograms() {
+            let spec = h.spec();
+            for slot in 0..spec.slots() {
+                let count = h.bucket(slot);
+                if count == 0 {
+                    continue;
+                }
+                let lo = spec.lower_bound(slot).map_or(String::new(), |b| format!("{b:?}"));
+                let hi = spec.upper_bound(slot).map_or(String::new(), |b| format!("{b:?}"));
+                let _ = writeln!(out, "histogram,{name},{lo},{hi},{count}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LinkFate, Phase};
+    use crate::hist::BucketSpec;
+    use crate::json;
+    use crate::recorder::Recorder;
+
+    fn sample() -> MemoryRecorder {
+        let mut rec = MemoryRecorder::new();
+        rec.tick_start(1);
+        rec.counter_add("sim.sent", 4);
+        rec.gauge_set("sim.rmse_with_le", 1.5);
+        rec.gauge_set("broker.nan", f64::NAN);
+        let mut h = HistogramDelta::new(BucketSpec::log_spaced(0.5, 2.0, 6));
+        h.record(0.1);
+        h.record(3.0);
+        h.record(1e9);
+        rec.histogram_merge("sim.err_with_le", &h);
+        rec.span(Phase::Observe, 140);
+        rec.event(EventKind::FilterDecision { node: 3, sent: false });
+        rec.event(EventKind::LinkFate {
+            node: 3,
+            fate: LinkFate::DroppedFault,
+        });
+        rec.event(EventKind::StalenessTransition {
+            stale_nodes: 1,
+            previous: 0,
+        });
+        rec
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse() {
+        let text = sample().to_jsonl();
+        let lines = json::validate_jsonl(&text).expect("every line must be valid JSON");
+        // meta + counter + 2 gauges + histogram + span + 3 events.
+        assert_eq!(lines, 9);
+        assert!(text.contains("\"name\":\"sim.sent\",\"value\":4"));
+        assert!(text.contains("\"fate\":\"dropped_fault\""));
+        assert!(text.contains("\"phase\":\"observe\""));
+        assert!(text.contains("\"value\":null"), "NaN gauge must render as null");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_nonzero_cell() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,bucket_lo,bucket_hi,value");
+        // 1 counter + 2 gauges + 3 non-zero buckets (under, mid, over).
+        assert_eq!(lines.len(), 1 + 1 + 2 + 3);
+        assert!(csv.contains("counter,sim.sent,,,4"));
+        assert!(csv.lines().any(|l| l.starts_with("histogram,sim.err_with_le,,0.5,")));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(sample().to_jsonl(), sample().to_jsonl());
+        assert_eq!(sample().to_csv(), sample().to_csv());
+    }
+}

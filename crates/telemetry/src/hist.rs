@@ -1,0 +1,256 @@
+//! Fixed log-spaced histograms with an exactly mergeable delta type.
+
+/// Maximum number of slots a histogram can use, including the underflow
+/// and overflow slots. Fixing the array size keeps [`HistogramDelta`]
+/// `Copy` so per-shard partials can live in plain per-shard output structs
+/// with no heap traffic.
+pub const MAX_BUCKETS: usize = 24;
+
+/// Fixed log-spaced bucket boundaries: slot 0 catches values below `min`
+/// (and non-finite values), slots `1..=len` cover
+/// `[min·growthⁱ⁻¹, min·growthⁱ)`, and slot `len + 1` catches everything
+/// at or above `min·growthˡᵉⁿ`.
+///
+/// The boundaries are part of the spec and never move at runtime, so two
+/// deltas with the same spec merge bucket by bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSpec {
+    min: f64,
+    growth: f64,
+    len: u8,
+}
+
+impl BucketSpec {
+    /// `len` log-spaced buckets starting at `min` with ratio `growth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` or `growth` is not finite and positive, if
+    /// `growth <= 1`, or if `len + 2` exceeds [`MAX_BUCKETS`].
+    #[must_use]
+    pub fn log_spaced(min: f64, growth: f64, len: u8) -> Self {
+        assert!(min.is_finite() && min > 0.0, "min must be positive");
+        assert!(growth.is_finite() && growth > 1.0, "growth must exceed 1");
+        assert!(
+            usize::from(len) + 2 <= MAX_BUCKETS,
+            "len + 2 must fit in MAX_BUCKETS"
+        );
+        BucketSpec { min, growth, len }
+    }
+
+    /// Total slots in use: `len` log buckets plus underflow and overflow.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        usize::from(self.len) + 2
+    }
+
+    /// The slot a value lands in.
+    #[must_use]
+    pub fn slot(&self, v: f64) -> usize {
+        if !v.is_finite() || v < self.min {
+            return 0;
+        }
+        let i = (v / self.min).log(self.growth).floor();
+        if i < 0.0 {
+            // Rounding at the first boundary: v >= min always belongs to
+            // slot 1 or later.
+            return 1;
+        }
+        let i = i as usize;
+        if i >= usize::from(self.len) {
+            self.slots() - 1
+        } else {
+            i + 1
+        }
+    }
+
+    /// The slot's inclusive lower bound (`None` for the underflow slot,
+    /// which starts at negative infinity).
+    #[must_use]
+    pub fn lower_bound(&self, slot: usize) -> Option<f64> {
+        match slot {
+            0 => None,
+            s if s < self.slots() => Some(self.min * self.growth.powi(s as i32 - 1)),
+            _ => None,
+        }
+    }
+
+    /// The slot's exclusive upper bound (`None` for the overflow slot,
+    /// which extends to infinity).
+    #[must_use]
+    pub fn upper_bound(&self, slot: usize) -> Option<f64> {
+        if slot + 1 >= self.slots() {
+            None
+        } else {
+            Some(self.min * self.growth.powi(slot as i32))
+        }
+    }
+}
+
+/// One histogram's mergeable state: per-slot counts plus total count and
+/// running min/max.
+///
+/// The merge is **exactly associative and commutative** — integer adds
+/// plus `f64` min/max, deliberately no floating-point sum — so per-shard
+/// deltas can be combined under any grouping and still produce identical
+/// bits. This is the same algebra as the pipeline's `BrokerDelta`.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_telemetry::{BucketSpec, HistogramDelta};
+///
+/// let spec = BucketSpec::log_spaced(1.0, 2.0, 8);
+/// let mut a = HistogramDelta::new(spec);
+/// let mut b = HistogramDelta::new(spec);
+/// a.record(1.5);
+/// b.record(100.0);
+/// a.merge(&b);
+/// assert_eq!(a.count(), 2);
+/// assert_eq!(a.min(), Some(1.5));
+/// assert_eq!(a.max(), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramDelta {
+    spec: BucketSpec,
+    counts: [u64; MAX_BUCKETS],
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl HistogramDelta {
+    /// An empty delta over `spec`.
+    #[must_use]
+    pub fn new(spec: BucketSpec) -> Self {
+        HistogramDelta {
+            spec,
+            counts: [0; MAX_BUCKETS],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.counts[self.spec.slot(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two deltas were built over different [`BucketSpec`]s.
+    pub fn merge(&mut self, other: &HistogramDelta) {
+        assert_eq!(
+            self.spec, other.spec,
+            "histogram deltas with different bucket specs cannot merge"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The bucket spec this delta was built over.
+    #[must_use]
+    pub fn spec(&self) -> BucketSpec {
+        self.spec
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count in one slot (0 = underflow, last = overflow).
+    #[must_use]
+    pub fn bucket(&self, slot: usize) -> u64 {
+        self.counts[slot]
+    }
+
+    /// Smallest finite sample seen, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest finite sample seen, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cover_the_whole_line() {
+        let spec = BucketSpec::log_spaced(0.5, 2.0, 4); // 0.5 1 2 4 8
+        assert_eq!(spec.slots(), 6);
+        assert_eq!(spec.slot(0.0), 0);
+        assert_eq!(spec.slot(f64::NAN), 0);
+        assert_eq!(spec.slot(0.5), 1);
+        assert_eq!(spec.slot(0.9), 1);
+        assert_eq!(spec.slot(1.0), 2);
+        assert_eq!(spec.slot(7.9), 4);
+        assert_eq!(spec.slot(8.0), 5);
+        assert_eq!(spec.slot(1e12), 5);
+    }
+
+    #[test]
+    fn bounds_match_slots() {
+        let spec = BucketSpec::log_spaced(0.5, 2.0, 4);
+        assert_eq!(spec.lower_bound(0), None);
+        assert_eq!(spec.upper_bound(0), Some(0.5));
+        assert_eq!(spec.lower_bound(1), Some(0.5));
+        assert_eq!(spec.upper_bound(1), Some(1.0));
+        assert_eq!(spec.lower_bound(5), Some(8.0));
+        assert_eq!(spec.upper_bound(5), None);
+    }
+
+    #[test]
+    fn record_and_merge_agree() {
+        let spec = BucketSpec::log_spaced(1.0, 2.0, 8);
+        let values = [0.3, 1.0, 2.5, 2.5, 77.0, 1e9];
+        let mut whole = HistogramDelta::new(spec);
+        for v in values {
+            whole.record(v);
+        }
+        let mut left = HistogramDelta::new(spec);
+        let mut right = HistogramDelta::new(spec);
+        for v in &values[..3] {
+            left.record(*v);
+        }
+        for v in &values[3..] {
+            right.record(*v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket specs")]
+    fn mismatched_specs_refuse_to_merge() {
+        let mut a = HistogramDelta::new(BucketSpec::log_spaced(1.0, 2.0, 4));
+        let b = HistogramDelta::new(BucketSpec::log_spaced(2.0, 2.0, 4));
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,221 @@
+//! A minimal, dependency-free JSON validator.
+//!
+//! The hermetic offline build carries no JSON crate, so the telemetry
+//! tests and the CI smoke step validate exported JSONL with this ~100-line
+//! recursive-descent checker instead. It validates syntax only (RFC 8259
+//! grammar); it builds no value tree.
+
+/// Validates that `s` is exactly one JSON value (with optional surrounding
+/// whitespace).
+///
+/// # Errors
+///
+/// Returns the byte offset and a short description of the first syntax
+/// error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates every non-empty line of `s` as standalone JSON and returns
+/// the number of lines checked.
+///
+/// # Errors
+///
+/// Returns the 1-based line number and the underlying error for the first
+/// invalid line.
+pub fn validate_jsonl(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b[pos..].starts_with(lit) {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // consume '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = string(b, pos).map_err(|e| format!("object key: {e}"))?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = skip_ws(b, value(b, pos)?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // consume '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = skip_ws(b, value(b, pos)?);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: usize) -> Result<usize, String> {
+    if b.get(pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    let mut i = pos + 1;
+    while let Some(&c) = b.get(i) {
+        match c {
+            b'"' => return Ok(i + 1),
+            b'\\' => {
+                match b.get(i + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                    Some(b'u') => {
+                        let hex = b.get(i + 2..i + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {i}"));
+                        }
+                        i += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1F => return Err(format!("unescaped control byte at {i}")),
+            _ => i += 1,
+        }
+    }
+    Err(format!("unterminated string starting at byte {pos}"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| -> usize {
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        p
+    };
+    let int_end = digits(b, pos);
+    if int_end == pos {
+        return Err(format!("expected digit at byte {pos}"));
+    }
+    if b[pos] == b'0' && int_end > pos + 1 {
+        return Err(format!("leading zero at byte {pos}"));
+    }
+    pos = int_end;
+    if b.get(pos) == Some(&b'.') {
+        let frac_end = digits(b, pos + 1);
+        if frac_end == pos + 1 {
+            return Err(format!("expected fraction digit at byte {pos}"));
+        }
+        pos = frac_end;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let exp_end = digits(b, pos);
+        if exp_end == pos {
+            return Err(format!("expected exponent digit at byte {start}"));
+        }
+        pos = exp_end;
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e+3",
+            "1e-10",
+            r#"{"a":[1,2.5,{"b":"x\ny"},true,null],"c":"é"}"#,
+            r#"  {"padded": [ 1 , 2 ] }  "#,
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "nul",
+            "{} extra",
+            "NaN",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_nonempty_lines() {
+        assert_eq!(validate_jsonl("{}\n\n[1]\n").unwrap(), 2);
+        assert!(validate_jsonl("{}\nbad\n").is_err());
+    }
+}

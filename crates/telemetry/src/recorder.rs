@@ -1,0 +1,339 @@
+//! The [`Recorder`] sink trait and its two implementations.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use crate::clock::TickClock;
+use crate::event::{Event, EventKind, EventRing, Phase, SpanRecord};
+use crate::hist::HistogramDelta;
+
+/// A sink for simulation telemetry.
+///
+/// Every recording method defaults to a no-op, so implementors only
+/// override what they store and the pipeline can call the trait
+/// unconditionally — producers may still skip whole recording loops when
+/// [`Recorder::enabled`] is false (the [`NoopRecorder`] contract keeps the
+/// steady-state tick path zero-allocation).
+///
+/// Metric names are `&'static str` so recording never allocates; the
+/// [`MemoryRecorder`] keys its maps by those names directly.
+///
+/// [`Recorder::fork`] / [`Recorder::absorb`] support deterministic fan-out:
+/// a parent hands each parallel unit of work (a campaign run, a matrix
+/// cell) a fresh child recorder and absorbs the children back **in
+/// submission order** — the same fixed-order reduction the pipeline uses
+/// for `BrokerDelta`, so recorded telemetry is bit-identical for every
+/// thread count.
+pub trait Recorder: Send + Sync {
+    /// True when this recorder actually stores samples. Producers may skip
+    /// optional recording loops (per-node events, per-shard histograms)
+    /// when false.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Advances the monotonic tick clock; call once at the start of every
+    /// simulation tick.
+    fn tick_start(&mut self, _tick: u64) {}
+
+    /// Adds `delta` to the named counter.
+    fn counter_add(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Sets the named gauge (last write wins).
+    fn gauge_set(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Folds a histogram delta into the named histogram. Callers merging
+    /// per-shard deltas must do so in shard order.
+    fn histogram_merge(&mut self, _name: &'static str, _delta: &HistogramDelta) {}
+
+    /// Records one per-phase timing span at the current logical stamp.
+    fn span(&mut self, _phase: Phase, _items: u64) {}
+
+    /// Records one structured event at the current logical stamp.
+    fn event(&mut self, _kind: EventKind) {}
+
+    /// A fresh, empty recorder of the same kind for one parallel unit of
+    /// work; pair with [`Recorder::absorb`].
+    fn fork(&self) -> Box<dyn Recorder>;
+
+    /// Folds a forked child back in. Children must be absorbed in
+    /// submission order to keep the merged trace deterministic.
+    fn absorb(&mut self, _child: Box<dyn Recorder>) {}
+
+    /// Type-erasure escape hatch for [`Recorder::absorb`] implementations.
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+/// The zero-sized default recorder: stores nothing, reports
+/// `enabled() == false`, and lets the steady-state tick path stay
+/// zero-allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn fork(&self) -> Box<dyn Recorder> {
+        Box::new(NoopRecorder)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+/// Default capacity of the structured event ring.
+const EVENT_CAPACITY: usize = 4096;
+/// Default capacity of the span ring.
+const SPAN_CAPACITY: usize = 4096;
+
+/// The in-memory recorder behind `--telemetry`: ordered maps for
+/// counters, gauges and histograms, bounded rings for spans and events,
+/// and JSONL/CSV exporters (see [`MemoryRecorder::to_jsonl`] and
+/// [`MemoryRecorder::to_csv`]).
+///
+/// All storage is keyed by the `&'static str` metric names and the maps
+/// are `BTreeMap`s, so iteration — and therefore every export — is in a
+/// stable name order regardless of recording order.
+#[derive(Debug, Clone)]
+pub struct MemoryRecorder {
+    pub(crate) clock: TickClock,
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) gauges: BTreeMap<&'static str, f64>,
+    pub(crate) histograms: BTreeMap<&'static str, HistogramDelta>,
+    pub(crate) spans: EventRing<SpanRecord>,
+    pub(crate) events: EventRing<Event>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        MemoryRecorder::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// A recorder with the default ring capacities (4096 spans, 4096
+    /// events).
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryRecorder::with_capacity(SPAN_CAPACITY, EVENT_CAPACITY)
+    }
+
+    /// A recorder with explicit span / event ring capacities.
+    #[must_use]
+    pub fn with_capacity(span_capacity: usize, event_capacity: usize) -> Self {
+        MemoryRecorder {
+            clock: TickClock::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: EventRing::new(span_capacity),
+            events: EventRing::new(event_capacity),
+        }
+    }
+
+    /// The named counter's total (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// The named gauge's last value, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// The named histogram, if anything was recorded into it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramDelta> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &HistogramDelta)> + '_ {
+        self.histograms.iter().map(|(n, v)| (*n, v))
+    }
+
+    /// Retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events overwritten because the event ring was full.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// Spans overwritten because the span ring was full.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped()
+    }
+
+    /// Folds `other`'s state into `self`: counters and histograms merge
+    /// exactly, `other`'s gauges win, and `other`'s spans/events append in
+    /// their recorded order (subject to this ring's capacity).
+    pub fn merge_from(&mut self, other: &MemoryRecorder) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name, *v);
+        }
+        for (name, delta) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(h) => h.merge(delta),
+                None => {
+                    self.histograms.insert(name, *delta);
+                }
+            }
+        }
+        for span in other.spans.iter() {
+            self.spans.push(*span);
+        }
+        for event in other.events.iter() {
+            self.events.push(*event);
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn tick_start(&mut self, tick: u64) {
+        self.clock.start_tick(tick);
+    }
+
+    fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    fn histogram_merge(&mut self, name: &'static str, delta: &HistogramDelta) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.merge(delta),
+            None => {
+                self.histograms.insert(name, *delta);
+            }
+        }
+    }
+
+    fn span(&mut self, phase: Phase, items: u64) {
+        let stamp = self.clock.stamp();
+        self.spans.push(SpanRecord {
+            stamp,
+            phase,
+            items,
+        });
+    }
+
+    fn event(&mut self, kind: EventKind) {
+        let stamp = self.clock.stamp();
+        self.events.push(Event { stamp, kind });
+    }
+
+    fn fork(&self) -> Box<dyn Recorder> {
+        Box::new(MemoryRecorder::with_capacity(
+            self.spans.capacity(),
+            self.events.capacity(),
+        ))
+    }
+
+    fn absorb(&mut self, child: Box<dyn Recorder>) {
+        if let Ok(mem) = child.into_any().downcast::<MemoryRecorder>() {
+            self.merge_from(&mem);
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::BucketSpec;
+    use crate::LinkFate;
+
+    #[test]
+    fn noop_records_nothing_and_forks_noops() {
+        let mut noop = NoopRecorder;
+        assert!(!noop.enabled());
+        noop.counter_add("x", 1);
+        noop.event(EventKind::FilterDecision { node: 0, sent: true });
+        let child = noop.fork();
+        assert!(!child.enabled());
+    }
+
+    #[test]
+    fn memory_recorder_stores_and_reads_back() {
+        let mut rec = MemoryRecorder::new();
+        rec.tick_start(3);
+        rec.counter_add("sim.sent", 2);
+        rec.counter_add("sim.sent", 1);
+        rec.gauge_set("g", 0.5);
+        rec.span(Phase::Observe, 10);
+        rec.event(EventKind::LinkFate {
+            node: 7,
+            fate: LinkFate::Delivered,
+        });
+        assert_eq!(rec.counter("sim.sent"), 3);
+        assert_eq!(rec.gauge("g"), Some(0.5));
+        let spans: Vec<_> = rec.spans().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].stamp.tick, spans[0].stamp.seq), (3, 0));
+        let events: Vec<_> = rec.events().collect();
+        assert_eq!(events[0].stamp.seq, 1, "spans and events share the clock");
+    }
+
+    #[test]
+    fn fork_absorb_round_trips() {
+        let mut parent = MemoryRecorder::new();
+        parent.counter_add("c", 1);
+        let mut child = parent.fork();
+        assert!(child.enabled());
+        child.counter_add("c", 2);
+        child.tick_start(9);
+        child.event(EventKind::StalenessTransition {
+            stale_nodes: 1,
+            previous: 0,
+        });
+        let spec = BucketSpec::log_spaced(1.0, 2.0, 4);
+        let mut d = HistogramDelta::new(spec);
+        d.record(3.0);
+        child.histogram_merge("h", &d);
+        parent.absorb(child);
+        assert_eq!(parent.counter("c"), 3);
+        assert_eq!(parent.histogram("h").unwrap().count(), 1);
+        assert_eq!(parent.events().count(), 1);
+    }
+
+    #[test]
+    fn absorbing_a_noop_child_is_harmless() {
+        let mut parent = MemoryRecorder::new();
+        parent.counter_add("c", 5);
+        parent.absorb(Box::new(NoopRecorder));
+        assert_eq!(parent.counter("c"), 5);
+    }
+}

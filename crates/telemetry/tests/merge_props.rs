@@ -1,0 +1,98 @@
+//! Property tests for the telemetry merge algebra.
+//!
+//! The pipeline merges per-shard telemetry partials in shard order with
+//! the same algebra as `BrokerDelta`; these properties pin that the
+//! algebra is *exactly* associative and commutative, so any shard split
+//! (and any grouping of merges) produces identical bits.
+
+use mobigrid_telemetry::{BucketSpec, HistogramDelta, MemoryRecorder, Recorder};
+use proptest::prelude::*;
+
+fn spec() -> BucketSpec {
+    BucketSpec::log_spaced(0.125, 2.0, 18)
+}
+
+fn delta_from(values: &[f64]) -> HistogramDelta {
+    let mut d = HistogramDelta::new(spec());
+    for &v in values {
+        d.record(v);
+    }
+    d
+}
+
+proptest! {
+    /// Recording a value stream in one delta equals splitting the stream
+    /// at any point into per-shard deltas and merging those — the exact
+    /// shard-split invariance the pipeline relies on.
+    #[test]
+    fn histogram_merge_is_shard_split_invariant(
+        values in prop::collection::vec(0.0f64..1e7, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let whole = delta_from(&values);
+        let mut left = delta_from(&values[..split]);
+        let right = delta_from(&values[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
+    }
+
+    /// Merge grouping never matters: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0.0f64..1e7, 0..60),
+        b in prop::collection::vec(0.0f64..1e7, 0..60),
+        c in prop::collection::vec(0.0f64..1e7, 0..60),
+    ) {
+        let (da, db, dc) = (delta_from(&a), delta_from(&b), delta_from(&c));
+        let mut left = da;
+        left.merge(&db);
+        left.merge(&dc);
+        let mut bc = db;
+        bc.merge(&dc);
+        let mut right = da;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge order never matters: a ⊕ b == b ⊕ a.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0.0f64..1e7, 0..60),
+        b in prop::collection::vec(0.0f64..1e7, 0..60),
+    ) {
+        let (da, db) = (delta_from(&a), delta_from(&b));
+        let mut ab = da;
+        ab.merge(&db);
+        let mut ba = db;
+        ba.merge(&da);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Counter totals are split-invariant through the recorder's
+    /// fork/absorb path: incrementing in one recorder equals splitting the
+    /// increments across forked children absorbed back in order.
+    #[test]
+    fn counter_fork_absorb_is_shard_split_invariant(
+        deltas in prop::collection::vec(0u64..1000, 0..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(deltas.len());
+        let mut whole = MemoryRecorder::new();
+        for &d in &deltas {
+            whole.counter_add("c", d);
+        }
+        let mut parent = MemoryRecorder::new();
+        let mut left = parent.fork();
+        for &d in &deltas[..split] {
+            left.counter_add("c", d);
+        }
+        let mut right = parent.fork();
+        for &d in &deltas[split..] {
+            right.counter_add("c", d);
+        }
+        parent.absorb(left);
+        parent.absorb(right);
+        prop_assert_eq!(parent.counter("c"), whole.counter("c"));
+    }
+}

@@ -348,6 +348,19 @@ impl FaultChannel {
         self.in_flight.len()
     }
 
+    /// Exports the channel's cumulative fate counters and in-flight depth
+    /// as `channel.*` gauges on `rec`. Gauges are last-write-wins, so
+    /// calling this once per tick leaves the run's final totals in the
+    /// recorder.
+    pub fn record_telemetry(&self, rec: &mut dyn mobigrid_telemetry::Recorder) {
+        rec.gauge_set("channel.delivered", self.stats.delivered as f64);
+        rec.gauge_set("channel.dropped", self.stats.dropped as f64);
+        rec.gauge_set("channel.corrupted", self.stats.corrupted as f64);
+        rec.gauge_set("channel.delayed", self.stats.delayed as f64);
+        rec.gauge_set("channel.duplicated", self.stats.duplicated as f64);
+        rec.gauge_set("channel.in_flight", self.in_flight.len() as f64);
+    }
+
     fn roll(&self, lu: &LocationUpdate, attempt: u32, salt: u64) -> u64 {
         event_noise(self.seed, lu.node.raw(), lu.seq, attempt, salt)
     }

@@ -282,6 +282,17 @@ impl AccessNetwork {
         self.dropped
     }
 
+    /// Exports the network's cumulative accounting (messages, bytes,
+    /// handoffs, coverage drops) as `net.*` gauges on `rec`. Gauges are
+    /// last-write-wins, so calling this once per tick leaves the run's
+    /// final totals in the recorder.
+    pub fn record_telemetry(&self, rec: &mut dyn mobigrid_telemetry::Recorder) {
+        rec.gauge_set("net.messages", self.meter.messages() as f64);
+        rec.gauge_set("net.bytes", self.meter.bytes() as f64);
+        rec.gauge_set("net.handoffs", self.handoffs as f64);
+        rec.gauge_set("net.dropped", self.dropped as f64);
+    }
+
     /// Resets meters, associations and counters; gateways stay, and with
     /// them the spatial index — it derives only from the gateway set, so a
     /// reset (or an outage-schedule change) never invalidates it.
