@@ -37,10 +37,23 @@ if command -v python3 > /dev/null; then
 fi
 rm -f "$smoke_jsonl"
 
+echo "==> flight-recorder smoke"
+cargo test -q -p mobigrid-experiments --test flight_recorder
+# Record a campus run with a ring big enough to retain every event, then
+# replay the invariant monitors offline; any violation fails the build.
+flight_jsonl="$(mktemp -t mobigrid-flight.XXXXXX.jsonl)"
+cargo run --release -p mobigrid-experiments --bin experiment -- \
+  --experiment fig4 --ticks 120 --telemetry "$flight_jsonl" --events 2097152 > /dev/null
+cargo run --release -p mobigrid-experiments --bin trace -- "$flight_jsonl" --check
+rm -f "$flight_jsonl"
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo clippy -p mobigrid-telemetry -- -D warnings -D missing-docs"
+cargo clippy -p mobigrid-telemetry -- -D warnings -D missing-docs
 
 echo "CI OK"

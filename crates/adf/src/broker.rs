@@ -2,6 +2,7 @@ use mobigrid_forecast::{
     AxisSmoothing, BrownPositionEstimator, DeadReckoning, HoltLinear, LastKnown, PositionEstimator,
 };
 use mobigrid_geo::Point;
+use mobigrid_telemetry::ApplyOutcome;
 use mobigrid_wireless::{LocationUpdate, MnId};
 
 /// Which location estimator the broker runs for filtered nodes.
@@ -119,6 +120,25 @@ struct LastRx {
     position: Point,
 }
 
+/// What one broker apply call did, for the flight recorder: the typed
+/// outcome, the node's staleness counter after the call, and the
+/// trust-window blend weight used (1.0 when no degraded blending
+/// happened).
+///
+/// Every apply entry point ([`GridBroker::receive`] /
+/// [`GridBroker::note_filtered`] / [`GridBroker::note_lost`] and their
+/// shard twins) returns one; callers that don't record simply ignore it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplyInfo {
+    /// What the broker did.
+    pub outcome: ApplyOutcome,
+    /// The node's consecutive-loss staleness counter after the call.
+    pub staleness: u32,
+    /// Trust-window weight toward pure extrapolation (see
+    /// [`GridBroker::note_lost`]); 1.0 everywhere else.
+    pub blend: f64,
+}
+
 /// What [`NodeSlot::receive`] did with an incoming update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RxOutcome {
@@ -215,24 +235,31 @@ impl NodeSlot {
     /// (`W =` [`STALENESS_TRUST_WINDOW`]). The first loss trusts the
     /// estimator fully; sustained silence decays smoothly back to the last
     /// thing the node actually said.
-    fn note_lost(&mut self, time_s: f64) -> (bool, bool) {
+    /// Returns `(estimate_stored, first_record, blend)` where `blend` is
+    /// the trust weight applied toward pure extrapolation (1.0 when no
+    /// blending happened — no confirmed fix to blend toward, or nothing
+    /// stored at all).
+    fn note_lost(&mut self, time_s: f64) -> (bool, bool, f64) {
         self.staleness = self.staleness.saturating_add(1);
         let Some(est) = &self.estimator else {
-            return (false, false);
+            return (false, false, 1.0);
         };
         let Some(extrapolated) = est.estimate(time_s) else {
-            return (false, false);
+            return (false, false, 1.0);
         };
-        let position = match &self.last_rx {
+        let (position, blend) = match &self.last_rx {
             Some(rx) => {
                 let trust = STALENESS_TRUST_WINDOW
                     / (STALENESS_TRUST_WINDOW + f64::from(self.staleness - 1));
-                Point::new(
-                    rx.position.x + (extrapolated.x - rx.position.x) * trust,
-                    rx.position.y + (extrapolated.y - rx.position.y) * trust,
+                (
+                    Point::new(
+                        rx.position.x + (extrapolated.x - rx.position.x) * trust,
+                        rx.position.y + (extrapolated.y - rx.position.y) * trust,
+                    ),
+                    trust,
                 )
             }
-            None => extrapolated,
+            None => (extrapolated, 1.0),
         };
         let fresh = self.record.is_none();
         self.record = Some(LocationRecord {
@@ -240,7 +267,7 @@ impl NodeSlot {
             time_s,
             estimated: true,
         });
-        (true, fresh)
+        (true, fresh, blend)
     }
 }
 
@@ -318,32 +345,72 @@ impl BrokerShard<'_> {
 
     /// Ingests a received location update for a node in this shard.
     /// Duplicate and stale frames are counted as rejected, not received.
-    pub fn receive(&mut self, lu: &LocationUpdate) {
+    pub fn receive(&mut self, lu: &LocationUpdate) -> ApplyInfo {
         let kind = self.kind;
-        match self.slot_mut(lu.node).receive(kind, lu) {
+        let (rx, staleness) = {
+            let slot = self.slot_mut(lu.node);
+            let rx = slot.receive(kind, lu);
+            (rx, slot.staleness)
+        };
+        let outcome = match rx {
             RxOutcome::Accepted { fresh } => {
                 self.delta.received += 1;
                 self.delta.fresh_records += u64::from(fresh);
+                ApplyOutcome::Accepted
             }
-            RxOutcome::Duplicate | RxOutcome::Stale => self.delta.rejected += 1,
+            RxOutcome::Duplicate => {
+                self.delta.rejected += 1;
+                ApplyOutcome::Duplicate
+            }
+            RxOutcome::Stale => {
+                self.delta.rejected += 1;
+                ApplyOutcome::Stale
+            }
+        };
+        ApplyInfo {
+            outcome,
+            staleness,
+            blend: 1.0,
         }
     }
 
     /// Notes a filtered update for a node in this shard: estimates and
     /// stores its position, as [`GridBroker::note_filtered`] does.
-    pub fn note_filtered(&mut self, node: MnId, time_s: f64) {
-        let (estimated, fresh) = self.slot_mut(node).note_filtered(time_s);
+    pub fn note_filtered(&mut self, node: MnId, time_s: f64) -> ApplyInfo {
+        let slot = self.slot_mut(node);
+        let (estimated, fresh) = slot.note_filtered(time_s);
+        let staleness = slot.staleness;
         self.delta.estimated += u64::from(estimated);
         self.delta.fresh_records += u64::from(fresh);
+        ApplyInfo {
+            outcome: if estimated {
+                ApplyOutcome::Estimated
+            } else {
+                ApplyOutcome::NoRecord
+            },
+            staleness,
+            blend: 1.0,
+        }
     }
 
     /// Notes an update that was sent but never arrived: stores a degraded
     /// estimate, as [`GridBroker::note_lost`] does.
-    pub fn note_lost(&mut self, node: MnId, time_s: f64) {
-        let (estimated, fresh) = self.slot_mut(node).note_lost(time_s);
+    pub fn note_lost(&mut self, node: MnId, time_s: f64) -> ApplyInfo {
+        let slot = self.slot_mut(node);
+        let (estimated, fresh, blend) = slot.note_lost(time_s);
+        let staleness = slot.staleness;
         self.delta.lost += 1;
         self.delta.estimated += u64::from(estimated);
         self.delta.fresh_records += u64::from(fresh);
+        ApplyInfo {
+            outcome: if estimated {
+                ApplyOutcome::Degraded
+            } else {
+                ApplyOutcome::NoRecord
+            },
+            staleness,
+            blend,
+        }
     }
 
     /// Number of nodes in this shard currently marked stale (at least one
@@ -481,15 +548,31 @@ impl GridBroker {
     /// Ingests a received location update. Exact duplicates of the last
     /// accepted update and frames older than it (channel reorderings) are
     /// rejected and counted in [`GridBroker::rejected_count`].
-    pub fn receive(&mut self, lu: &LocationUpdate) {
+    pub fn receive(&mut self, lu: &LocationUpdate) -> ApplyInfo {
         self.ensure_nodes(lu.node.index() + 1);
         let kind = self.kind;
-        match self.slots[lu.node.index()].receive(kind, lu) {
+        let slot = &mut self.slots[lu.node.index()];
+        let rx = slot.receive(kind, lu);
+        let staleness = slot.staleness;
+        let outcome = match rx {
             RxOutcome::Accepted { fresh } => {
                 self.received += 1;
                 self.live_records += usize::from(fresh);
+                ApplyOutcome::Accepted
             }
-            RxOutcome::Duplicate | RxOutcome::Stale => self.rejected += 1,
+            RxOutcome::Duplicate => {
+                self.rejected += 1;
+                ApplyOutcome::Duplicate
+            }
+            RxOutcome::Stale => {
+                self.rejected += 1;
+                ApplyOutcome::Stale
+            }
+        };
+        ApplyInfo {
+            outcome,
+            staleness,
+            blend: 1.0,
         }
     }
 
@@ -498,13 +581,27 @@ impl GridBroker {
     ///
     /// A node never heard from has no record and no estimator; the call is
     /// a no-op then (the broker cannot invent a location).
-    pub fn note_filtered(&mut self, node: MnId, time_s: f64) {
+    pub fn note_filtered(&mut self, node: MnId, time_s: f64) -> ApplyInfo {
         let Some(slot) = self.slots.get_mut(node.index()) else {
-            return;
+            return ApplyInfo {
+                outcome: ApplyOutcome::NoRecord,
+                staleness: 0,
+                blend: 1.0,
+            };
         };
         let (estimated, fresh) = slot.note_filtered(time_s);
+        let staleness = slot.staleness;
         self.estimated += u64::from(estimated);
         self.live_records += usize::from(fresh);
+        ApplyInfo {
+            outcome: if estimated {
+                ApplyOutcome::Estimated
+            } else {
+                ApplyOutcome::NoRecord
+            },
+            staleness,
+            blend: 1.0,
+        }
     }
 
     /// Notes that `node`'s update at `time_s` was sent but never arrived
@@ -514,13 +611,23 @@ impl GridBroker {
     ///
     /// A node never heard from has no estimator; only the staleness
     /// bookkeeping happens then.
-    pub fn note_lost(&mut self, node: MnId, time_s: f64) {
+    pub fn note_lost(&mut self, node: MnId, time_s: f64) -> ApplyInfo {
         self.ensure_nodes(node.index() + 1);
         let slot = &mut self.slots[node.index()];
-        let (estimated, fresh) = slot.note_lost(time_s);
+        let (estimated, fresh, blend) = slot.note_lost(time_s);
+        let staleness = slot.staleness;
         self.lost += 1;
         self.estimated += u64::from(estimated);
         self.live_records += usize::from(fresh);
+        ApplyInfo {
+            outcome: if estimated {
+                ApplyOutcome::Degraded
+            } else {
+                ApplyOutcome::NoRecord
+            },
+            staleness,
+            blend,
+        }
     }
 
     /// Consecutive losses since `node`'s last accepted update (zero for a
@@ -884,6 +991,48 @@ mod tests {
             assert_eq!(seq.location(MnId::new(node)), sharded.location(MnId::new(node)));
             assert_eq!(seq.staleness(MnId::new(node)), sharded.staleness(MnId::new(node)));
         }
+    }
+
+    #[test]
+    fn apply_info_reports_outcome_staleness_and_blend() {
+        let mut b = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        // Unknown node: nothing to estimate from.
+        let info = b.note_filtered(MnId::new(1), 0.0);
+        assert_eq!(info.outcome, ApplyOutcome::NoRecord);
+        fn check(info: ApplyInfo, outcome: ApplyOutcome, staleness: u32) {
+            assert_eq!(info.outcome, outcome);
+            assert_eq!(info.staleness, staleness);
+        }
+        check(b.receive(&lu(1, 0.0, 0.0, 0.0)), ApplyOutcome::Accepted, 0);
+        check(b.receive(&lu(1, 1.0, 2.0, 0.0)), ApplyOutcome::Accepted, 0);
+        // Duplicate and stale frames keep staleness untouched.
+        check(b.receive(&lu(1, 1.0, 2.0, 0.0)), ApplyOutcome::Duplicate, 0);
+        check(b.receive(&lu(1, 0.5, 1.0, 0.0)), ApplyOutcome::Stale, 0);
+        // Suppressed tick: estimated, still not stale, no blending.
+        let info = b.note_filtered(MnId::new(1), 2.0);
+        check(info, ApplyOutcome::Estimated, 0);
+        assert_eq!(info.blend, 1.0);
+        // First loss: degraded with full trust in extrapolation.
+        let info = b.note_lost(MnId::new(1), 3.0);
+        check(info, ApplyOutcome::Degraded, 1);
+        assert!((info.blend - 1.0).abs() < 1e-12);
+        // Second loss: trust shrinks to W/(W+1) = 8/9.
+        let info = b.note_lost(MnId::new(1), 4.0);
+        check(info, ApplyOutcome::Degraded, 2);
+        assert!((info.blend - 8.0 / 9.0).abs() < 1e-12, "blend {}", info.blend);
+        // A receive resets staleness.
+        check(b.receive(&lu(1, 5.0, 10.0, 0.0)), ApplyOutcome::Accepted, 0);
+        // Loss on a never-heard-from node: staleness only, nothing stored.
+        check(b.note_lost(MnId::new(7), 5.0), ApplyOutcome::NoRecord, 1);
+
+        // Shard views report the same ApplyInfo shape.
+        let mut sb = GridBroker::new(EstimatorKind::DeadReckoning).unwrap();
+        sb.ensure_nodes(2);
+        let mut shards = sb.shard_views(2);
+        check(shards[0].receive(&lu(0, 0.0, 0.0, 0.0)), ApplyOutcome::Accepted, 0);
+        check(shards[0].receive(&lu(0, 1.0, 1.0, 0.0)), ApplyOutcome::Accepted, 0);
+        check(shards[0].note_lost(MnId::new(0), 2.0), ApplyOutcome::Degraded, 1);
+        check(shards[0].note_filtered(MnId::new(1), 2.0), ApplyOutcome::NoRecord, 0);
     }
 
     #[test]

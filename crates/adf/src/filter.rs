@@ -68,6 +68,7 @@ pub struct DistanceFilter {
     reference: FilterReference,
     last_sent: Option<Point>,
     last_observed: Option<Point>,
+    last_step: Option<f64>,
     sent: u64,
     filtered: u64,
 }
@@ -98,6 +99,7 @@ impl DistanceFilter {
             reference,
             last_sent: None,
             last_observed: None,
+            last_step: None,
             sent: 0,
             filtered: 0,
         }
@@ -137,10 +139,12 @@ impl DistanceFilter {
             FilterReference::PreviousObservation => self.last_observed,
             FilterReference::LastTransmitted => self.last_sent,
         };
-        let send = match anchor {
+        let dist = anchor.map(|prev| prev.distance_to(position));
+        let send = match dist {
             None => true,
-            Some(prev) => prev.distance_to(position) >= self.dth,
+            Some(d) => d >= self.dth,
         };
+        self.last_step = dist;
         self.last_observed = Some(position);
         if send {
             self.last_sent = Some(position);
@@ -150,6 +154,15 @@ impl DistanceFilter {
             self.filtered += 1;
             Decision::Filtered
         }
+    }
+
+    /// The displacement (metres against the filter's reference) measured
+    /// by the most recent [`DistanceFilter::observe`] call — `None` until
+    /// the filter has an anchor to measure from (the always-sent first
+    /// observation). Feeds the flight recorder's decision events.
+    #[must_use]
+    pub fn last_displacement(&self) -> Option<f64> {
+        self.last_step
     }
 
     /// Number of observations transmitted.
@@ -286,5 +299,23 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_dth_panics() {
         let _ = DistanceFilter::new(-1.0);
+    }
+
+    #[test]
+    fn last_displacement_tracks_each_observation() {
+        let mut df = DistanceFilter::new(3.0);
+        assert_eq!(df.last_displacement(), None);
+        df.observe(Point::new(0.0, 0.0));
+        assert_eq!(df.last_displacement(), None, "first observation has no anchor");
+        df.observe(Point::new(2.0, 0.0));
+        assert_eq!(df.last_displacement(), Some(2.0));
+        df.observe(Point::new(6.0, 0.0));
+        assert_eq!(df.last_displacement(), Some(4.0));
+        // Dead-band semantics measure from the last transmitted fix.
+        let mut db = DistanceFilter::with_reference(3.0, FilterReference::LastTransmitted);
+        db.observe(Point::new(0.0, 0.0));
+        db.observe(Point::new(1.0, 0.0));
+        db.observe(Point::new(2.0, 0.0));
+        assert_eq!(db.last_displacement(), Some(2.0), "accumulated from last sent");
     }
 }

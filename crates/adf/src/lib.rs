@@ -50,12 +50,14 @@ mod policy;
 mod runtime;
 mod stats;
 
-pub use broker::{BrokerDelta, BrokerShard, EstimatorKind, GridBroker, LocationRecord};
+pub use broker::{ApplyInfo, BrokerDelta, BrokerShard, EstimatorKind, GridBroker, LocationRecord};
 pub use classifier::{MobilityClassifier, MotionSample};
 pub use config::AdfConfig;
 pub use filter::{Decision, DistanceFilter, FilterReference};
 pub use node::MobileNode;
 pub use pipeline::{error_bucket_spec, MobileGridSim, SimBuilder, TickStats};
 pub use runtime::{FaultSpec, RuntimeOptions, SimError};
-pub use policy::{AdaptiveDistanceFilter, FilterPolicy, GeneralDistanceFilter, IdealPolicy};
+pub use policy::{
+    AdaptiveDistanceFilter, FilterPolicy, FilterProbe, GeneralDistanceFilter, IdealPolicy,
+};
 pub use stats::{KindTally, RegionTally};

@@ -1,16 +1,18 @@
 use mobigrid_campus::RegionKind;
 use mobigrid_geo::Point;
+use mobigrid_mobility::MobilityPattern;
 use mobigrid_sim::par::ShardPool;
 use mobigrid_sim::stats::Rmse;
 use mobigrid_telemetry::{
-    BucketSpec, EventKind, HistogramDelta, LinkFate, NoopRecorder, Phase, Recorder,
+    ApplyOutcome, BucketSpec, EventKind, HistogramDelta, LinkFate, MobilityClass, MonitorSet,
+    NodeFate, NoopRecorder, Phase, Recorder, TickVitals, Violation,
 };
 use mobigrid_wireless::{
     event_noise, AccessNetwork, DropCause, FaultChannel, FaultPlan, LinkEvent, LocationUpdate,
     MnId, RetryPolicy, SALT_RETRY_JITTER,
 };
 
-use crate::broker::{BrokerDelta, BrokerShard};
+use crate::broker::{ApplyInfo, BrokerDelta, BrokerShard};
 use crate::runtime::{FaultSpec, RuntimeOptions, SimError};
 use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
 
@@ -21,6 +23,12 @@ use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, Regio
 /// reduction below are bit-identical whether a tick runs on one thread or
 /// many. Threads only decide *where* a shard executes.
 const SHARD_SIZE: usize = 64;
+
+/// Upper bound on the invariant violations [`MobileGridSim`] retains in
+/// memory (the recorder additionally sees every one as an event). A
+/// healthy run keeps zero; the cap only stops a systemically broken run
+/// from growing the log without bound.
+const VIOLATION_LOG_CAP: usize = 1024;
 
 /// The fixed log-spaced bucket boundaries both per-node location-error
 /// histograms (`sim.err_with_le`, `sim.err_without_le`) are recorded
@@ -263,6 +271,8 @@ impl SimBuilder {
             pool: ShardPool::new(self.runtime.threads),
             prev_stale: 0,
             scratch,
+            monitors: MonitorSet::standard(),
+            violations: Vec::new(),
         })
     }
 }
@@ -292,6 +302,15 @@ struct TickScratch {
     late_lus: Vec<LocationUpdate>,
     /// Per-shard partial results of the fused apply/measure phase.
     outs: Vec<ShardOut>,
+    /// Per-node apply fate for the invariant monitors, derived from the
+    /// decisions (no network) or the link outcomes (network attached).
+    fates: Vec<NodeFate>,
+    /// Per-node with-LE staleness counters after the apply phase, read
+    /// back from the broker for the staleness-consistency monitor.
+    staleness: Vec<u32>,
+    /// Per-node flag: a deferred frame for this node arrived late and was
+    /// accepted earlier in the tick (resets the staleness baseline).
+    late_accepted: Vec<bool>,
 }
 
 impl TickScratch {
@@ -303,6 +322,9 @@ impl TickScratch {
             sent_seq: vec![0u32; nodes],
             late_lus: Vec::new(),
             outs: Vec::with_capacity(mobigrid_sim::par::shard_count(nodes, SHARD_SIZE)),
+            fates: vec![NodeFate::Idle; nodes],
+            staleness: vec![0u32; nodes],
+            late_accepted: vec![false; nodes],
         }
     }
 }
@@ -397,6 +419,13 @@ pub struct MobileGridSim {
     /// telemetry staleness-transition event.
     prev_stale: u32,
     scratch: TickScratch,
+    /// The online invariant battery, run at the end of every tick —
+    /// recording or not — over the tick's conservation-law vitals.
+    monitors: MonitorSet,
+    /// Violations the monitors have found so far, capped at
+    /// [`VIOLATION_LOG_CAP`] (an enabled recorder sees every one as an
+    /// `invariant_violation` event regardless).
+    violations: Vec<Violation>,
 }
 
 impl std::fmt::Debug for MobileGridSim {
@@ -420,12 +449,26 @@ struct ShardJob<'a> {
     /// Per-node network outcomes, present when a network is attached (the
     /// routing phase then owns the sequence counters).
     link: Option<&'a [LinkOutcome]>,
-    /// Sequence numbers the routing phase transmitted with (valid only
-    /// where `link` records a transmission).
-    sent_seqs: &'a [u32],
+    /// Sequence numbers each node transmitted with. With a network the
+    /// routing phase wrote them (valid where `link` records a
+    /// transmission); without one this shard owns `seqs` and writes the
+    /// used value back here for the seq-monotonicity monitor.
+    sent_seqs: &'a mut [u32],
     seqs: &'a mut [u32],
     le: BrokerShard<'a>,
     raw: BrokerShard<'a>,
+}
+
+/// One node's flight-recorder sample from the apply/measure phase: the
+/// with-LE broker's apply verdict plus both brokers' location errors.
+/// Collected per shard only while a recorder is enabled, and drained in
+/// shard order into `lu_apply`/`lu_error` events so the emission order is
+/// independent of the thread count.
+struct FlightSample {
+    node: u32,
+    apply: ApplyInfo,
+    err_le: f64,
+    err_raw: f64,
 }
 
 /// One shard's partial results. `sent` and the tally are exact (`u32`/`u64`)
@@ -450,6 +493,10 @@ struct ShardOut {
     /// the merged result is bit-identical under *any* order.
     err_le: HistogramDelta,
     err_raw: HistogramDelta,
+    /// Per-node flight-recorder samples, filled only when a recorder is
+    /// enabled (stays an unallocated empty `Vec` otherwise, keeping the
+    /// steady-state tick allocation-free).
+    flight: Vec<FlightSample>,
 }
 
 impl MobileGridSim {
@@ -514,6 +561,21 @@ impl MobileGridSim {
         self.pool.threads()
     }
 
+    /// Invariant violations the online monitor battery has found so far.
+    ///
+    /// The four-law battery ([`MonitorSet::standard`]) runs at the end of
+    /// **every** tick, recorded or not: filter conservation, channel
+    /// conservation (including in-flight continuity), per-node wire-seq
+    /// monotonicity, and staleness consistency. A healthy run keeps this
+    /// empty; tests and CI assert exactly that. Retention is capped at
+    /// 1024 entries so a systemically broken run cannot grow the log
+    /// without bound (an enabled recorder still sees every violation as
+    /// an `invariant_violation` event).
+    #[must_use]
+    pub fn invariant_violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
     /// Executes one tick and returns its statistics.
     ///
     /// The tick runs in four phases. Ground-truth advancement (1) and the
@@ -543,21 +605,38 @@ impl MobileGridSim {
     /// (`MobileGridSim::step` simply delegates here): every emission site
     /// is either a no-op virtual call or gated on [`Recorder::enabled`],
     /// so the tick path stays allocation-free and the golden traces stay
-    /// bit-exact. With an enabled recorder each tick emits:
+    /// bit-exact. With an enabled recorder each tick emits the **causal
+    /// flight-recorder chain** — every location update carries the stable
+    /// identity `(node, seq)` where `seq` is the tick it was generated
+    /// on, linking its lifecycle events:
     ///
-    /// - **spans** for the four phases (`observe`, `filter`, `transmit`,
-    ///   `estimate`), stamped with the logical tick clock;
-    /// - **events** for every filter decision, every link fate (delivered,
-    ///   duplicate, deferred, arrived-late, dropped by cause) and every
-    ///   change in the stale-node count;
-    /// - **counters** mirroring [`TickStats`] exactly (`sim.sent` summed
-    ///   over a run equals the sum of `TickStats::sent`, and so on);
-    /// - **gauges** for the instantaneous values (time, RMSEs, stale
-    ///   nodes, broker and network totals);
-    /// - two per-node location-error **histograms**
-    ///   (`sim.err_with_le` / `sim.err_without_le`) over the fixed
-    ///   [`error_bucket_spec`] buckets, accumulated per shard and merged
-    ///   in shard order so they are bit-identical at every thread count.
+    /// - `lu_generated` — the ground-truth observation (position);
+    /// - `lu_classified` — the policy's view, when it classifies
+    ///   (mobility class, velocity cluster or `-1`, DTH in force);
+    /// - `lu_decision` — sent or suppressed, with the measured
+    ///   displacement against the DTH;
+    /// - `lu_channel` — one per frame on the air (first sends, retries
+    ///   and late arrivals), with wire seq, attempt and fate (delivered,
+    ///   duplicate, deferred with its due tick, arrived-late, dropped by
+    ///   cause);
+    /// - `lu_apply` — the with-LE broker's verdict (accepted, duplicate,
+    ///   stale, estimated, degraded) with the node's staleness counter
+    ///   and trust-blend weight;
+    /// - `lu_error` — both brokers' location error against ground truth.
+    ///
+    /// Alongside the chain each tick emits **spans** for the four phases,
+    /// `staleness` transition and `invariant_violation` events,
+    /// **counters** mirroring [`TickStats`] plus the flow-conservation
+    /// quantities (`sim.filter_sent`, `sim.suppressed`, `sim.delivered`,
+    /// `sim.deferred`, `sim.no_coverage`, `sim.invariant_violations`),
+    /// **gauges** for the instantaneous values, and the two per-node
+    /// location-error **histograms** over the fixed [`error_bucket_spec`]
+    /// buckets. Everything is accumulated per shard and merged in shard
+    /// order, so recorded telemetry is bit-identical at every thread
+    /// count.
+    ///
+    /// The online invariant monitors run whether or not a recorder is
+    /// attached; see [`MobileGridSim::invariant_violations`].
     ///
     /// [`step`]: MobileGridSim::step
     pub fn step_recorded(&mut self, rec: &mut dyn Recorder) -> TickStats {
@@ -589,11 +668,49 @@ impl MobileGridSim {
         self.policy
             .process_tick(time_s, &scratch.observations, &mut scratch.decisions);
         debug_assert_eq!(scratch.decisions.len(), scratch.observations.len());
+        // The filter-conservation monitor needs the split every tick.
+        let mut filter_sent = 0u32;
+        for decision in &scratch.decisions {
+            filter_sent += u32::from(decision.is_sent());
+        }
+        let suppressed = scratch.decisions.len() as u32 - filter_sent;
+        // An update's flight-recorder identity is (node, generation tick):
+        // stable across retries and deferrals, unlike the wire seq which
+        // advances once per frame on the air.
+        let gen_seq = self.tick as u32;
         if recording {
-            for ((id, _), decision) in scratch.observations.iter().zip(&scratch.decisions) {
-                rec.event(EventKind::FilterDecision {
+            for ((id, pos), decision) in scratch.observations.iter().zip(&scratch.decisions) {
+                rec.event(EventKind::LuGenerated {
                     node: id.raw(),
-                    sent: matches!(decision, Decision::Sent),
+                    seq: gen_seq,
+                    x: pos.x,
+                    y: pos.y,
+                });
+                let probe = self.policy.probe(*id);
+                if let Some(p) = probe {
+                    if let Some(pattern) = p.pattern {
+                        rec.event(EventKind::LuClassified {
+                            node: id.raw(),
+                            seq: gen_seq,
+                            class: match pattern {
+                                MobilityPattern::Stop => MobilityClass::Stop,
+                                MobilityPattern::Random => MobilityClass::Random,
+                                MobilityPattern::Linear => MobilityClass::Linear,
+                            },
+                            cluster: p.cluster.map_or(-1, |c| c as i32),
+                            dth: p.dth.unwrap_or(f64::NAN),
+                        });
+                    }
+                }
+                let (displacement, dth) = probe.map_or((f64::NAN, f64::NAN), |p| {
+                    (p.displacement.unwrap_or(f64::NAN), p.dth.unwrap_or(f64::NAN))
+                });
+                rec.event(EventKind::LuDecision {
+                    node: id.raw(),
+                    seq: gen_seq,
+                    sent: decision.is_sent(),
+                    displacement,
+                    dth,
                 });
             }
         }
@@ -609,6 +726,10 @@ impl MobileGridSim {
         let mut lost = 0u32;
         let mut late = 0u32;
         let mut on_air = 0u64;
+        let mut delivered = 0u32;
+        let mut deferred = 0u32;
+        let mut no_coverage = 0u32;
+        scratch.late_accepted.fill(false);
         let routed = if let Some(net) = self.network.as_mut() {
             // Deferred frames due now reach the brokers before anything
             // sent this tick, so their (older) timestamps stay in order.
@@ -616,12 +737,32 @@ impl MobileGridSim {
                 scratch.late_lus.clear();
                 ch.drain_due(self.tick, &mut scratch.late_lus);
                 for lu in &scratch.late_lus {
-                    self.broker_le.receive(lu);
+                    let info = self.broker_le.receive(lu);
                     self.broker_raw.receive(lu);
+                    if info.outcome == ApplyOutcome::Accepted {
+                        // Resets the node's staleness baseline before the
+                        // apply phase runs — the staleness monitor needs
+                        // to know.
+                        scratch.late_accepted[lu.node.index()] = true;
+                    }
                     if recording {
-                        rec.event(EventKind::LinkFate {
+                        // A deferred frame keeps its generation-tick
+                        // identity: recover it from the timestamp.
+                        let seq = (lu.time_s / dt).round() as u32;
+                        rec.event(EventKind::LuChannel {
                             node: lu.node.raw(),
+                            seq,
+                            wire_seq: lu.seq,
+                            attempt: 0,
                             fate: LinkFate::ArrivedLate,
+                            due_tick: self.tick,
+                        });
+                        rec.event(EventKind::LuApply {
+                            node: lu.node.raw(),
+                            seq,
+                            outcome: info.outcome,
+                            staleness: info.staleness,
+                            blend: info.blend,
                         });
                     }
                 }
@@ -659,28 +800,38 @@ impl MobileGridSim {
                     },
                 };
                 on_air += 1;
+                let (fate, due) = match &event {
+                    LinkEvent::Delivered {
+                        duplicate: false, ..
+                    } => (LinkFate::Delivered, 0),
+                    LinkEvent::Delivered {
+                        duplicate: true, ..
+                    } => (LinkFate::DeliveredDuplicate, 0),
+                    LinkEvent::Deferred { due_tick, .. } => (LinkFate::Deferred, *due_tick),
+                    LinkEvent::Dropped {
+                        cause: DropCause::NoCoverage,
+                    } => (LinkFate::DroppedNoCoverage, 0),
+                    LinkEvent::Dropped {
+                        cause: DropCause::Fault,
+                    } => (LinkFate::DroppedFault, 0),
+                    LinkEvent::Dropped {
+                        cause: DropCause::Corrupted,
+                    } => (LinkFate::DroppedCorrupted, 0),
+                };
+                match fate {
+                    LinkFate::Delivered | LinkFate::DeliveredDuplicate => delivered += 1,
+                    LinkFate::Deferred => deferred += 1,
+                    LinkFate::DroppedNoCoverage => no_coverage += 1,
+                    _ => {}
+                }
                 if recording {
-                    let fate = match &event {
-                        LinkEvent::Delivered {
-                            duplicate: false, ..
-                        } => LinkFate::Delivered,
-                        LinkEvent::Delivered {
-                            duplicate: true, ..
-                        } => LinkFate::DeliveredDuplicate,
-                        LinkEvent::Deferred { .. } => LinkFate::Deferred,
-                        LinkEvent::Dropped {
-                            cause: DropCause::NoCoverage,
-                        } => LinkFate::DroppedNoCoverage,
-                        LinkEvent::Dropped {
-                            cause: DropCause::Fault,
-                        } => LinkFate::DroppedFault,
-                        LinkEvent::Dropped {
-                            cause: DropCause::Corrupted,
-                        } => LinkFate::DroppedCorrupted,
-                    };
-                    rec.event(EventKind::LinkFate {
+                    rec.event(EventKind::LuChannel {
                         node: id.raw(),
+                        seq: gen_seq,
+                        wire_seq: seq,
+                        attempt,
                         fate,
+                        due_tick: due,
                     });
                 }
                 *out = match event {
@@ -729,6 +880,27 @@ impl MobileGridSim {
         } else {
             false
         };
+        // Per-node apply fates for the invariant monitors: without a
+        // network a sent update reaches the broker directly; with one the
+        // routing phase just decided every frame's fate.
+        if routed {
+            for (fate, outcome) in scratch.fates.iter_mut().zip(scratch.link.iter()) {
+                *fate = match outcome {
+                    LinkOutcome::Idle => NodeFate::Idle,
+                    LinkOutcome::Delivered { .. } => NodeFate::Accepted,
+                    LinkOutcome::Lost { transmitted: true } => NodeFate::LostInFlight,
+                    LinkOutcome::Lost { transmitted: false } => NodeFate::NoCoverage,
+                };
+            }
+        } else {
+            for (fate, decision) in scratch.fates.iter_mut().zip(scratch.decisions.iter()) {
+                *fate = if decision.is_sent() {
+                    NodeFate::Accepted
+                } else {
+                    NodeFate::Idle
+                };
+            }
+        }
         let link: Option<&[LinkOutcome]> = routed.then_some(&scratch.link);
         rec.span(Phase::Transmit, on_air);
 
@@ -742,7 +914,7 @@ impl MobileGridSim {
             .chunks(SHARD_SIZE)
             .zip(scratch.observations.chunks(SHARD_SIZE))
             .zip(scratch.decisions.chunks(SHARD_SIZE))
-            .zip(scratch.sent_seq.chunks(SHARD_SIZE))
+            .zip(scratch.sent_seq.chunks_mut(SHARD_SIZE))
             .zip(self.seqs.chunks_mut(SHARD_SIZE))
             .zip(self.broker_le.shard_views_iter(SHARD_SIZE))
             .zip(self.broker_raw.shard_views_iter(SHARD_SIZE))
@@ -787,6 +959,24 @@ impl MobileGridSim {
             if recording {
                 err_le.merge(&out.err_le);
                 err_raw.merge(&out.err_raw);
+                // Drain the shard's flight samples in shard order, so the
+                // apply/error event stream is identical at any thread
+                // count.
+                for s in &out.flight {
+                    rec.event(EventKind::LuApply {
+                        node: s.node,
+                        seq: gen_seq,
+                        outcome: s.apply.outcome,
+                        staleness: s.apply.staleness,
+                        blend: s.apply.blend,
+                    });
+                    rec.event(EventKind::LuError {
+                        node: s.node,
+                        seq: gen_seq,
+                        err_le: s.err_le,
+                        err_raw: s.err_raw,
+                    });
+                }
             }
             self.broker_le.apply_delta(&out.le_delta);
             self.broker_raw.apply_delta(&out.raw_delta);
@@ -804,6 +994,11 @@ impl MobileGridSim {
             rec.counter_add("sim.retries", u64::from(retries));
             rec.counter_add("sim.lost", u64::from(lost));
             rec.counter_add("sim.late", u64::from(late));
+            rec.counter_add("sim.filter_sent", u64::from(filter_sent));
+            rec.counter_add("sim.suppressed", u64::from(suppressed));
+            rec.counter_add("sim.delivered", u64::from(if routed { delivered } else { filter_sent }));
+            rec.counter_add("sim.deferred", u64::from(deferred));
+            rec.counter_add("sim.no_coverage", u64::from(no_coverage));
             rec.counter_add("sim.road.sent", tick_tally.road.sent);
             rec.counter_add("sim.road.observed", tick_tally.road.observed);
             rec.counter_add("sim.building.sent", tick_tally.building.sent);
@@ -844,6 +1039,49 @@ impl MobileGridSim {
         }
         self.prev_stale = stale_nodes;
 
+        // Online invariant monitors — every tick, recording or not. The
+        // per-node staleness counters are read back from the with-LE
+        // broker after the apply deltas landed.
+        for (i, slot) in scratch.staleness.iter_mut().enumerate() {
+            *slot = self.broker_le.staleness(MnId::new(i as u32));
+        }
+        let vitals = TickVitals {
+            tick: self.tick,
+            generated: scratch.observations.len() as u64,
+            filter_sent: u64::from(filter_sent),
+            suppressed: u64::from(suppressed),
+            // Without a network a sent update reaches the broker
+            // directly: one "frame" per send, all delivered.
+            on_air: if routed { on_air } else { u64::from(filter_sent) },
+            delivered: u64::from(if routed { delivered } else { filter_sent }),
+            lost: u64::from(lost),
+            no_coverage: u64::from(no_coverage),
+            deferred: u64::from(deferred),
+            arrived_late: u64::from(late),
+            in_flight: self.channel.as_ref().map_or(0, |ch| ch.in_flight() as u64),
+            stale_nodes,
+            node_fates: &scratch.fates,
+            wire_seqs: &scratch.sent_seq,
+            staleness: &scratch.staleness,
+            late_accepted: &scratch.late_accepted,
+        };
+        let found = self.monitors.check_tick(&vitals);
+        if !found.is_empty() {
+            if recording {
+                rec.counter_add("sim.invariant_violations", found.len() as u64);
+                for v in found {
+                    rec.event(EventKind::InvariantViolation {
+                        monitor: v.monitor,
+                        node: v.node.unwrap_or(u32::MAX),
+                        expected: v.expected,
+                        actual: v.actual,
+                    });
+                }
+            }
+            let room = VIOLATION_LOG_CAP.saturating_sub(self.violations.len());
+            self.violations.extend(found.iter().take(room).copied());
+        }
+
         TickStats {
             time_s,
             sent,
@@ -880,26 +1118,31 @@ impl MobileGridSim {
             raw_delta: BrokerDelta::default(),
             err_le: HistogramDelta::new(error_bucket_spec()),
             err_raw: HistogramDelta::new(error_bucket_spec()),
+            flight: Vec::new(),
         };
         for (i, (id, pos)) in job.observations.iter().enumerate() {
             let kind = job.kinds[i];
-            match job.link {
+            let apply = match job.link {
                 // No network: a sent update reaches the brokers directly,
-                // and this phase owns the sequence counters.
+                // and this phase owns the sequence counters (writing the
+                // used value back for the seq-monotonicity monitor).
                 None => match job.decisions[i] {
                     Decision::Sent => {
                         let seq = &mut job.seqs[i];
                         let lu = LocationUpdate::new(*id, time_s, *pos, *seq);
+                        job.sent_seqs[i] = *seq;
                         *seq = seq.wrapping_add(1);
                         out.sent += 1;
                         out.tally.record(kind, true);
-                        job.le.receive(&lu);
+                        let info = job.le.receive(&lu);
                         job.raw.receive(&lu);
+                        info
                     }
                     Decision::Filtered => {
                         out.tally.record(kind, false);
-                        job.le.note_filtered(*id, time_s);
+                        let info = job.le.note_filtered(*id, time_s);
                         job.raw.note_filtered(*id, time_s);
+                        info
                     }
                 },
                 // With a network the routing phase already decided every
@@ -907,14 +1150,15 @@ impl MobileGridSim {
                 Some(link) => match link[i] {
                     LinkOutcome::Idle => {
                         out.tally.record(kind, false);
-                        job.le.note_filtered(*id, time_s);
+                        let info = job.le.note_filtered(*id, time_s);
                         job.raw.note_filtered(*id, time_s);
+                        info
                     }
                     LinkOutcome::Delivered { duplicate } => {
                         let lu = LocationUpdate::new(*id, time_s, *pos, job.sent_seqs[i]);
                         out.sent += 1;
                         out.tally.record(kind, true);
-                        job.le.receive(&lu);
+                        let info = job.le.receive(&lu);
                         job.raw.receive(&lu);
                         if duplicate {
                             // The second copy is byte-identical; the broker
@@ -922,24 +1166,27 @@ impl MobileGridSim {
                             job.le.receive(&lu);
                             job.raw.receive(&lu);
                         }
+                        info
                     }
                     LinkOutcome::Lost { transmitted: true } => {
                         // The frame consumed airtime but never arrived: the
                         // broker expected it and degrades gracefully.
                         out.sent += 1;
                         out.tally.record(kind, true);
-                        job.le.note_lost(*id, time_s);
+                        let info = job.le.note_lost(*id, time_s);
                         job.raw.note_lost(*id, time_s);
+                        info
                     }
                     LinkOutcome::Lost { transmitted: false } => {
                         // Out of coverage: the frame never reached the air;
                         // the broker estimates, same as a filtered update.
                         out.tally.record(kind, false);
-                        job.le.note_filtered(*id, time_s);
+                        let info = job.le.note_filtered(*id, time_s);
                         job.raw.note_filtered(*id, time_s);
+                        info
                     }
                 },
-            }
+            };
             // Measure against ground truth via direct dense-slot reads.
             let err_le = job
                 .le
@@ -954,6 +1201,12 @@ impl MobileGridSim {
             if record {
                 out.err_le.record(err_le);
                 out.err_raw.record(err_raw);
+                out.flight.push(FlightSample {
+                    node: id.raw(),
+                    apply,
+                    err_le,
+                    err_raw,
+                });
             }
             match kind {
                 RegionKind::Road => {
@@ -1407,6 +1660,142 @@ mod tests {
         }
         assert_eq!(exports[0], exports[1], "2 threads changed the telemetry");
         assert_eq!(exports[0], exports[2], "4 threads changed the telemetry");
+    }
+
+    /// The online invariant battery must stay silent across every
+    /// configuration the pipeline supports: no network, a clean network,
+    /// and a faulty channel with retries, deferrals and duplicates.
+    #[test]
+    fn invariant_monitors_stay_clean_across_configurations() {
+        use mobigrid_wireless::RetryPolicy;
+        // No network.
+        let mut plain = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), walker(1, 5.0), parked(2)])
+            .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+            .build()
+            .unwrap();
+        plain.run(200);
+        assert_eq!(plain.invariant_violations(), &[], "no-network run");
+
+        // Clean network.
+        let mut clean = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(IdealPolicy::new())
+            .network(wide_net())
+            .build()
+            .unwrap();
+        clean.run(200);
+        assert_eq!(clean.invariant_violations(), &[], "clean-network run");
+
+        // Every fault class at once, with retries.
+        let plan = FaultPlan {
+            drop_rate: 0.2,
+            corrupt_rate: 0.05,
+            delay_rate: 0.15,
+            max_delay_ticks: 4,
+            duplicate_rate: 0.1,
+            flaps: Vec::new(),
+        };
+        let nodes: Vec<MobileNode> = (0..70u32)
+            .map(|i| {
+                let n = if i % 3 == 2 {
+                    parked(i)
+                } else {
+                    walker(i, 1.0 + f64::from(i % 5))
+                };
+                n.with_retry_policy(RetryPolicy::default())
+            })
+            .collect();
+        let mut faulty = SimBuilder::new()
+            .nodes(nodes)
+            .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+            .network(wide_net())
+            .faults(plan, 42)
+            .threads(2)
+            .build()
+            .unwrap();
+        let stats = faulty.run(150);
+        let faults: u64 = stats
+            .iter()
+            .map(|s| u64::from(s.lost) + u64::from(s.late) + u64::from(s.retries))
+            .sum();
+        assert!(faults > 0, "the fault plan injected nothing");
+        assert_eq!(faulty.invariant_violations(), &[], "faulty run");
+    }
+
+    /// A recorded tick must link every update's lifecycle through its
+    /// stable `(node, generation-tick)` identity: generated → decision →
+    /// channel fate → broker apply → error sample.
+    #[test]
+    fn flight_recorder_links_the_causal_chain() {
+        use mobigrid_telemetry::MemoryRecorder;
+        let mut sim = SimBuilder::new()
+            .nodes(vec![walker(0, 2.0), parked(1)])
+            .policy(AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap())
+            .network(wide_net())
+            .build()
+            .unwrap();
+        let mut rec = MemoryRecorder::with_capacity(4096, 65_536);
+        sim.run_recorded(5, &mut rec);
+
+        for node in 0..2u32 {
+            for tick in 1..=5u32 {
+                let mut generated = 0;
+                let mut decisions = 0;
+                let mut sent = false;
+                let mut channel = 0;
+                let mut applies = 0;
+                let mut errors = 0;
+                for e in rec.events() {
+                    match e.kind {
+                        EventKind::LuGenerated { node: n, seq, .. } if n == node && seq == tick => {
+                            generated += 1;
+                        }
+                        EventKind::LuDecision { node: n, seq, sent: s, .. }
+                            if n == node && seq == tick =>
+                        {
+                            decisions += 1;
+                            sent = s;
+                        }
+                        EventKind::LuChannel { node: n, seq, .. } if n == node && seq == tick => {
+                            channel += 1;
+                        }
+                        EventKind::LuApply { node: n, seq, .. } if n == node && seq == tick => {
+                            applies += 1;
+                        }
+                        EventKind::LuError { node: n, seq, .. } if n == node && seq == tick => {
+                            errors += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                assert_eq!(generated, 1, "node {node} tick {tick}: one generation");
+                assert_eq!(decisions, 1, "node {node} tick {tick}: one decision");
+                assert_eq!(
+                    channel,
+                    usize::from(sent),
+                    "node {node} tick {tick}: sent updates get a channel fate"
+                );
+                assert_eq!(applies, 1, "node {node} tick {tick}: one broker apply");
+                assert_eq!(errors, 1, "node {node} tick {tick}: one error sample");
+            }
+        }
+        // The adaptive policy classifies, so classification events exist.
+        assert!(
+            rec.events()
+                .any(|e| matches!(e.kind, EventKind::LuClassified { .. })),
+            "ADF must emit classification events"
+        );
+        // Transmitted wire seqs advance by one per frame on the air.
+        let mut seqs = Vec::new();
+        for e in rec.events() {
+            if let EventKind::LuChannel { node: 0, wire_seq, .. } = e.kind {
+                seqs.push(wire_seq);
+            }
+        }
+        for w in seqs.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "wire seqs must be gapless: {seqs:?}");
+        }
     }
 
     /// The sharded executor must be invisible in the results: a 150-node

@@ -8,6 +8,28 @@ use mobigrid_wireless::MnId;
 
 use crate::{AdfConfig, Decision, DistanceFilter, FilterReference, MobilityClassifier};
 
+/// A snapshot of the per-node filter state behind one decision, exposed
+/// for the flight recorder: which mobility class and cluster were in
+/// force, which DTH was compared against, and the displacement the filter
+/// measured on its most recent observation.
+///
+/// Every field is optional — policies report what they actually track
+/// (the ideal pass-through policy tracks nothing and returns no probe at
+/// all).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FilterProbe {
+    /// The node's mobility classification, when the policy classifies.
+    pub pattern: Option<MobilityPattern>,
+    /// The velocity cluster the node was assigned, when the policy
+    /// clusters (stopped nodes are excluded from clustering).
+    pub cluster: Option<usize>,
+    /// The distance threshold in force, in metres.
+    pub dth: Option<f64>,
+    /// The displacement measured against the filter's reference on the
+    /// most recent observation, in metres.
+    pub displacement: Option<f64>,
+}
+
 /// A location-update filtering policy: the component that sits between the
 /// wireless gateways and the grid broker and decides, each tick, which
 /// nodes' location updates are forwarded.
@@ -47,6 +69,14 @@ pub trait FilterPolicy {
         let _ = node;
         None
     }
+
+    /// The filter state behind the node's most recent decision, for the
+    /// flight recorder. `None` (the default) means the policy tracks no
+    /// per-node state worth recording.
+    fn probe(&self, node: MnId) -> Option<FilterProbe> {
+        let _ = node;
+        None
+    }
 }
 
 impl<P: FilterPolicy + ?Sized> FilterPolicy for Box<P> {
@@ -65,6 +95,10 @@ impl<P: FilterPolicy + ?Sized> FilterPolicy for Box<P> {
 
     fn dth_for(&self, node: MnId) -> Option<f64> {
         (**self).dth_for(node)
+    }
+
+    fn probe(&self, node: MnId) -> Option<FilterProbe> {
+        (**self).probe(node)
     }
 }
 
@@ -199,6 +233,15 @@ impl FilterPolicy for GeneralDistanceFilter {
 
     fn dth_for(&self, node: MnId) -> Option<f64> {
         self.filters.get(&node).map(DistanceFilter::dth)
+    }
+
+    fn probe(&self, node: MnId) -> Option<FilterProbe> {
+        self.filters.get(&node).map(|f| FilterProbe {
+            pattern: None,
+            cluster: None,
+            dth: Some(f.dth()),
+            displacement: f.last_displacement(),
+        })
     }
 }
 
@@ -408,6 +451,15 @@ impl FilterPolicy for AdaptiveDistanceFilter {
     fn dth_for(&self, node: MnId) -> Option<f64> {
         self.nodes.get(&node).map(|s| s.filter.dth())
     }
+
+    fn probe(&self, node: MnId) -> Option<FilterProbe> {
+        self.nodes.get(&node).map(|s| FilterProbe {
+            pattern: Some(s.pattern),
+            cluster: s.cluster,
+            dth: Some(s.filter.dth()),
+            displacement: s.filter.last_displacement(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -553,5 +605,44 @@ mod tests {
         let mut cfg = AdfConfig::new(1.0);
         cfg.alpha = -1.0;
         assert!(AdaptiveDistanceFilter::new(cfg).is_err());
+    }
+
+    #[test]
+    fn probe_reports_per_policy_state() {
+        let node = MnId::new(0);
+        // The ideal policy tracks nothing.
+        assert_eq!(IdealPolicy::new().probe(node), None);
+
+        // The general DF exposes DTH and displacement but never classifies.
+        let mut gdf = GeneralDistanceFilter::new(1.0, 2);
+        assert_eq!(gdf.probe(node), None, "unknown node has no probe");
+        for t in 0..6u64 {
+            let t_f = t as f64;
+            gdf.decide_tick(t_f, &obs(&[(0, 2.0 * t_f, 0.0)]));
+        }
+        let probe = gdf.probe(node).unwrap();
+        assert_eq!(probe.pattern, None);
+        assert_eq!(probe.cluster, None);
+        assert!(probe.dth.unwrap() > 0.0);
+        assert!((probe.displacement.unwrap() - 2.0).abs() < 1e-9);
+
+        // The ADF exposes the full classification/cluster state.
+        let mut adf = AdaptiveDistanceFilter::new(AdfConfig::new(1.0)).unwrap();
+        for t in 0..20u64 {
+            let t_f = t as f64;
+            adf.decide_tick(t_f, &obs(&[(0, 1.5 * t_f, 0.0), (1, 50.0, 50.0)]));
+        }
+        let probe = adf.probe(node).unwrap();
+        assert_eq!(probe.pattern, Some(MobilityPattern::Linear));
+        assert!(probe.cluster.is_some());
+        assert!(probe.dth.unwrap() > 0.0);
+        assert!((probe.displacement.unwrap() - 1.5).abs() < 1e-9);
+        let parked = adf.probe(MnId::new(1)).unwrap();
+        assert_eq!(parked.pattern, Some(MobilityPattern::Stop));
+        assert_eq!(parked.cluster, None, "stopped nodes are not clustered");
+
+        // Boxed policies forward the probe.
+        let boxed: Box<dyn FilterPolicy> = Box::new(adf);
+        assert_eq!(boxed.probe(node).unwrap().pattern, Some(MobilityPattern::Linear));
     }
 }

@@ -168,6 +168,32 @@ fn bench_steady_state_tick(c: &mut Criterion) {
     g.finish();
 }
 
+/// What the flight recorder costs per tick: the warmed campus pipeline
+/// stepped through `step_recorded` with the zero-sized [`NoopRecorder`]
+/// (the `step()` fast path — must match `steady_state`) and with a
+/// [`MemoryRecorder`], whose bounded ring absorbs the full causal event
+/// stream (~5 events per node per tick). The gap between the two series
+/// is the price of `--telemetry`, recorded in `BENCH_telemetry.json`.
+fn bench_recording_overhead(c: &mut Criterion) {
+    use mobigrid_telemetry::{MemoryRecorder, NoopRecorder};
+    const WARMUP_TICKS: u64 = 60;
+    let mut g = c.benchmark_group("recording_overhead");
+    g.sample_size(20);
+    g.bench_function("campus_140_node_tick_noop", |b| {
+        let mut sim = build_adf_sim(11, 1.0);
+        sim.run(WARMUP_TICKS);
+        let mut rec = NoopRecorder;
+        b.iter(|| black_box(sim.step_recorded(&mut rec)));
+    });
+    g.bench_function("campus_140_node_tick_memory", |b| {
+        let mut sim = build_adf_sim(11, 1.0);
+        sim.run(WARMUP_TICKS);
+        let mut rec = MemoryRecorder::new();
+        b.iter(|| black_box(sim.step_recorded(&mut rec)));
+    });
+    g.finish();
+}
+
 /// The fault channel's per-transmission overhead: the same frame pushed
 /// through a lossless plan (pure hash rolls, no fault taken) and through a
 /// lossy mix (drops, CRC-checked corruption, deferral bookkeeping). This
@@ -255,6 +281,7 @@ criterion_group!(
     bench_hla_update_reflect,
     bench_full_sim_tick,
     bench_steady_state_tick,
+    bench_recording_overhead,
     bench_fault_channel,
     bench_tick_throughput
 );

@@ -1,0 +1,25 @@
+//! Flight-recorder trace analysis.
+//!
+//! Reads a JSONL telemetry export (produced with `--telemetry FILE` on
+//! any experiment binary), reconstructs per-LU causal chains, and answers
+//! timeline/latency/suppression/staleness queries. `--check` replays the
+//! invariant monitors offline and exits non-zero on any violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match mobigrid_experiments::trace::run_main(std::env::args().skip(1)) {
+        Ok((output, code)) => {
+            print!("{output}");
+            if code == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("trace: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

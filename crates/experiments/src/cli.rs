@@ -41,11 +41,15 @@ pub struct Cli {
     pub telemetry: Option<String>,
     /// Write a CSV telemetry export to this path after the run.
     pub telemetry_csv: Option<String>,
+    /// Event-ring capacity for the recorder (`--events`); the default
+    /// keeps only the newest 4096 events.
+    pub events: Option<usize>,
 }
 
 const USAGE: &str = "usage: [--experiment NAME | --list] [--ticks N] [--seed S] \
                      [--threads T] [--campaign-threads C] [--csv] \
-                     [--telemetry FILE.jsonl] [--telemetry-csv FILE.csv]";
+                     [--telemetry FILE.jsonl] [--telemetry-csv FILE.csv] \
+                     [--events N]";
 
 /// Parses a flag list (without the program name).
 ///
@@ -75,6 +79,7 @@ where
             "--experiment" => cli.experiment = Some(take_value(&mut args, "--experiment")?),
             "--telemetry" => cli.telemetry = Some(take_value(&mut args, "--telemetry")?),
             "--telemetry-csv" => cli.telemetry_csv = Some(take_value(&mut args, "--telemetry-csv")?),
+            "--events" => cli.events = Some(take_u64(&mut args, "--events")? as usize),
             other => return Err(format!("unknown flag {other}; {USAGE}")),
         }
     }
@@ -121,7 +126,10 @@ pub fn listing() -> String {
 /// Returns an error message for unknown experiment names.
 pub fn execute(cli: &Cli, name: &str) -> Result<Vec<Report>, String> {
     let wants_telemetry = cli.telemetry.is_some() || cli.telemetry_csv.is_some();
-    let mut memory = MemoryRecorder::new();
+    let mut memory = match cli.events {
+        Some(events) => MemoryRecorder::with_capacity(4096, events),
+        None => MemoryRecorder::new(),
+    };
     let mut noop = NoopRecorder;
     let rec: &mut dyn Recorder = if wants_telemetry { &mut memory } else { &mut noop };
 
@@ -235,8 +243,11 @@ mod tests {
             "out.jsonl",
             "--telemetry-csv",
             "out.csv",
+            "--events",
+            "99",
         ])
         .unwrap();
+        assert_eq!(cli.events, Some(99));
         assert_eq!(cli.experiment.as_deref(), Some("fig4"));
         assert_eq!(cli.config.duration_ticks, 60);
         assert_eq!(cli.config.seed, 7);
@@ -288,5 +299,42 @@ mod tests {
         let lines = mobigrid_telemetry::json::validate_jsonl(&exported).unwrap();
         assert!(lines > 0, "telemetry export is empty");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `--experiment all --telemetry FILE` must export ONE merged
+    /// recorder covering every campaign arm — not just the last arm's.
+    #[test]
+    fn execute_all_merges_every_arm_into_one_export() {
+        let dir = std::env::temp_dir().join("mobigrid-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("all.jsonl");
+        let cli = Cli {
+            config: ExperimentConfig {
+                duration_ticks: 20,
+                ..ExperimentConfig::default()
+            },
+            telemetry: Some(path.to_string_lossy().into_owned()),
+            // A ring big enough to retain more than one arm's events.
+            events: Some(1 << 20),
+            ..Cli::default()
+        };
+        execute(&cli, "all").unwrap();
+        let exported = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            exported.matches("\"type\":\"meta\"").count(),
+            1,
+            "expected exactly one merged export"
+        );
+        let trace = crate::trace::parse_trace(&exported).unwrap();
+        assert_eq!(trace.events_dropped, 0, "ring too small for the pin test");
+        // The campaign records the ideal arm plus three ADF arms in arm
+        // order; each restarts its tick clock, so the merged stream
+        // splits into one segment per arm.
+        assert!(
+            trace.segments().len() >= 4,
+            "expected one segment per campaign arm, got {}",
+            trace.segments().len()
+        );
     }
 }

@@ -69,4 +69,5 @@ pub mod report;
 pub mod robustness;
 pub mod scalability;
 pub mod table1;
+pub mod trace;
 pub mod workload;

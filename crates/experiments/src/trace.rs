@@ -1,0 +1,1122 @@
+//! Offline flight-recorder analysis: reconstruct per-LU causal chains
+//! from a JSONL telemetry export and replay the invariant monitors.
+//!
+//! A recorded run (`--telemetry FILE.jsonl` on any experiment binary)
+//! exports every location update's lifecycle as linked events sharing the
+//! stable identity `(node, seq)`, where `seq` is the generation tick:
+//! `lu_generated → lu_classified → lu_decision → lu_channel* → lu_apply →
+//! lu_error`. This module parses that export back (with the telemetry
+//! crate's own dependency-free JSON parser), groups the events into
+//! [`Chain`]s, and answers the questions a paper reader asks of a run:
+//!
+//! - the default **summary** (segments, chains, completeness, totals),
+//! - `--node N` — one node's tick-by-tick timeline,
+//! - `--latency` — delivery-latency distribution, retries included,
+//! - `--suppression` — longest suppression runs per velocity cluster,
+//! - `--staleness` — staleness episodes (onset, depth, length),
+//! - `--check` — replay the [`MonitorSet`] invariant battery offline and
+//!   exit non-zero on any violation.
+//!
+//! A campaign export concatenates several runs' events (the recorder is
+//! forked per arm and absorbed in arm order), so the event stream is
+//! split into **segments** wherever the tick regresses; every query works
+//! per segment. When the recorder's event ring dropped its oldest events
+//! (`events_dropped` in the meta line), the first retained tick of the
+//! first segment may be partial and is excluded from conservation checks.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mobigrid_telemetry::json::{self, Value};
+use mobigrid_telemetry::{
+    ApplyOutcome, EventKind, LinkFate, MobilityClass, MonitorKind, MonitorSet, NodeFate,
+    TickVitals, Violation,
+};
+
+/// One decoded event, stamped with the tick it was recorded on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Logical tick of the recording clock.
+    pub tick: u64,
+    /// The decoded payload.
+    pub kind: EventKind,
+}
+
+/// A parsed JSONL telemetry export.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Events the recorder's bounded ring dropped before export (from the
+    /// meta line). When positive, the stream's head is truncated.
+    pub events_dropped: u64,
+    /// Counter totals by name (whole-run sums, not per tick).
+    pub counters: BTreeMap<String, u64>,
+    /// Every decoded event, in export (= recording) order.
+    pub events: Vec<TraceEvent>,
+}
+
+fn field<'a>(obj: &'a Value, key: &str, line: usize) -> Result<&'a Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("line {line}: missing field {key:?}"))
+}
+
+fn num(obj: &Value, key: &str, line: usize) -> Result<f64, String> {
+    let v = field(obj, key, line)?;
+    match v {
+        Value::Null => Ok(f64::NAN),
+        _ => v
+            .as_f64()
+            .ok_or_else(|| format!("line {line}: field {key:?} is not a number")),
+    }
+}
+
+fn uint(obj: &Value, key: &str, line: usize) -> Result<u64, String> {
+    field(obj, key, line)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line}: field {key:?} is not an unsigned integer"))
+}
+
+fn int(obj: &Value, key: &str, line: usize) -> Result<i64, String> {
+    field(obj, key, line)?
+        .as_i64()
+        .ok_or_else(|| format!("line {line}: field {key:?} is not an integer"))
+}
+
+fn text<'a>(obj: &'a Value, key: &str, line: usize) -> Result<&'a str, String> {
+    field(obj, key, line)?
+        .as_str()
+        .ok_or_else(|| format!("line {line}: field {key:?} is not a string"))
+}
+
+fn boolean(obj: &Value, key: &str, line: usize) -> Result<bool, String> {
+    field(obj, key, line)?
+        .as_bool()
+        .ok_or_else(|| format!("line {line}: field {key:?} is not a boolean"))
+}
+
+fn u32_of(obj: &Value, key: &str, line: usize) -> Result<u32, String> {
+    let v = uint(obj, key, line)?;
+    u32::try_from(v).map_err(|_| format!("line {line}: field {key:?} overflows u32"))
+}
+
+/// The LU's generation seq. Event lines carry two `"seq"` members — the
+/// recorder's stamp first, then the LU identity inside the kind body —
+/// and the parser keeps members in document order, so take the last one.
+fn lu_seq(obj: &Value, line: usize) -> Result<u32, String> {
+    let Value::Obj(members) = obj else {
+        return Err(format!("line {line}: event is not an object"));
+    };
+    let v = members
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "seq")
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("line {line}: missing field \"seq\""))?;
+    let v = v
+        .as_u64()
+        .ok_or_else(|| format!("line {line}: field \"seq\" is not an unsigned integer"))?;
+    u32::try_from(v).map_err(|_| format!("line {line}: field \"seq\" overflows u32"))
+}
+
+fn decode_event(obj: &Value, line: usize) -> Result<TraceEvent, String> {
+    let tick = uint(obj, "tick", line)?;
+    let kind = match text(obj, "kind", line)? {
+        "lu_generated" => EventKind::LuGenerated {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            x: num(obj, "x", line)?,
+            y: num(obj, "y", line)?,
+        },
+        "lu_classified" => EventKind::LuClassified {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            class: MobilityClass::from_name(text(obj, "class", line)?)
+                .ok_or_else(|| format!("line {line}: unknown mobility class"))?,
+            cluster: int(obj, "cluster", line)?
+                .try_into()
+                .map_err(|_| format!("line {line}: cluster overflows i32"))?,
+            dth: num(obj, "dth", line)?,
+        },
+        "lu_decision" => EventKind::LuDecision {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            sent: boolean(obj, "sent", line)?,
+            displacement: num(obj, "displacement", line)?,
+            dth: num(obj, "dth", line)?,
+        },
+        "lu_channel" => EventKind::LuChannel {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            wire_seq: u32_of(obj, "wire_seq", line)?,
+            attempt: u32_of(obj, "attempt", line)?,
+            fate: LinkFate::from_name(text(obj, "fate", line)?)
+                .ok_or_else(|| format!("line {line}: unknown link fate"))?,
+            due_tick: uint(obj, "due_tick", line)?,
+        },
+        "lu_apply" => EventKind::LuApply {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            outcome: ApplyOutcome::from_name(text(obj, "outcome", line)?)
+                .ok_or_else(|| format!("line {line}: unknown apply outcome"))?,
+            staleness: u32_of(obj, "staleness", line)?,
+            blend: num(obj, "blend", line)?,
+        },
+        "lu_error" => EventKind::LuError {
+            node: u32_of(obj, "node", line)?,
+            seq: lu_seq(obj, line)?,
+            err_le: num(obj, "err_le", line)?,
+            err_raw: num(obj, "err_raw", line)?,
+        },
+        "invariant_violation" => EventKind::InvariantViolation {
+            monitor: MonitorKind::from_name(text(obj, "monitor", line)?)
+                .ok_or_else(|| format!("line {line}: unknown monitor"))?,
+            node: u32_of(obj, "node", line)?,
+            expected: int(obj, "expected", line)?,
+            actual: int(obj, "actual", line)?,
+        },
+        "staleness" => EventKind::StalenessTransition {
+            stale_nodes: u32_of(obj, "stale_nodes", line)?,
+            previous: u32_of(obj, "previous", line)?,
+        },
+        other => return Err(format!("line {line}: unknown event kind {other:?}")),
+    };
+    Ok(TraceEvent { tick, kind })
+}
+
+/// Parses a JSONL telemetry export.
+///
+/// # Errors
+///
+/// Returns `"line N: …"` messages for invalid JSON, missing fields and
+/// unknown event kinds, so a corrupt export points at its own defect.
+pub fn parse_trace(input: &str) -> Result<Trace, String> {
+    let mut trace = Trace::default();
+    for (i, raw) in input.lines().enumerate() {
+        let line = i + 1;
+        let raw = raw.trim_end_matches('\r');
+        if raw.is_empty() {
+            continue;
+        }
+        let obj = json::parse(raw).map_err(|e| format!("line {line}: {e}"))?;
+        match text(&obj, "type", line)? {
+            "meta" => trace.events_dropped = uint(&obj, "events_dropped", line)?,
+            "counter" => {
+                let name = text(&obj, "name", line)?.to_string();
+                trace.counters.insert(name, uint(&obj, "value", line)?);
+            }
+            "event" => trace.events.push(decode_event(&obj, line)?),
+            // Gauges, histograms and spans are summaries the flight
+            // recorder does not need.
+            "gauge" | "histogram" | "span" => {}
+            other => return Err(format!("line {line}: unknown line type {other:?}")),
+        }
+    }
+    Ok(trace)
+}
+
+impl Trace {
+    /// Splits the event stream into contiguous single-run segments: a
+    /// campaign export concatenates arms, so a tick regression marks the
+    /// start of the next run.
+    #[must_use]
+    pub fn segments(&self) -> Vec<&[TraceEvent]> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for i in 1..self.events.len() {
+            if self.events[i].tick < self.events[i - 1].tick {
+                out.push(&self.events[start..i]);
+                start = i;
+            }
+        }
+        if start < self.events.len() {
+            out.push(&self.events[start..]);
+        }
+        out
+    }
+}
+
+/// One location update's reconstructed lifecycle: everything recorded for
+/// one `(node, generation tick)` identity.
+#[derive(Debug, Clone, Default)]
+pub struct Chain {
+    /// Ground-truth position, when the generation event was retained.
+    pub generated: Option<(f64, f64)>,
+    /// `(class, cluster, dth)` from the policy's classification.
+    pub classified: Option<(MobilityClass, i32, f64)>,
+    /// `(sent, displacement, dth)` from the filter decision.
+    pub decision: Option<(bool, f64, f64)>,
+    /// Channel fates in delivery order: `(event tick, wire_seq, attempt,
+    /// fate)`. Deferred frames contribute a second entry when they arrive.
+    pub channel: Vec<(u64, u32, u32, LinkFate)>,
+    /// Broker applies: `(event tick, outcome, staleness, blend)`.
+    pub applies: Vec<(u64, ApplyOutcome, u32, f64)>,
+    /// Both brokers' error sample `(err_le, err_raw)`.
+    pub error: Option<(f64, f64)>,
+}
+
+impl Chain {
+    /// True when the lifecycle is fully linked: generated, decided,
+    /// applied and measured — plus a channel fate when the update was
+    /// transmitted over a network.
+    #[must_use]
+    pub fn is_complete(&self, network: bool) -> bool {
+        let sent = self.decision.is_some_and(|(s, _, _)| s);
+        self.generated.is_some()
+            && self.decision.is_some()
+            && !self.applies.is_empty()
+            && self.error.is_some()
+            && (!network || !sent || !self.channel.is_empty())
+    }
+}
+
+/// Reconstructs every causal chain in `events`, keyed by
+/// `(node, generation tick)`.
+#[must_use]
+pub fn chains(events: &[TraceEvent]) -> BTreeMap<(u32, u32), Chain> {
+    let mut out: BTreeMap<(u32, u32), Chain> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::LuGenerated { node, seq, x, y } => {
+                out.entry((node, seq)).or_default().generated = Some((x, y));
+            }
+            EventKind::LuClassified {
+                node,
+                seq,
+                class,
+                cluster,
+                dth,
+            } => {
+                out.entry((node, seq)).or_default().classified = Some((class, cluster, dth));
+            }
+            EventKind::LuDecision {
+                node,
+                seq,
+                sent,
+                displacement,
+                dth,
+            } => {
+                out.entry((node, seq)).or_default().decision = Some((sent, displacement, dth));
+            }
+            EventKind::LuChannel {
+                node,
+                seq,
+                wire_seq,
+                attempt,
+                fate,
+                ..
+            } => {
+                out.entry((node, seq))
+                    .or_default()
+                    .channel
+                    .push((e.tick, wire_seq, attempt, fate));
+            }
+            EventKind::LuApply {
+                node,
+                seq,
+                outcome,
+                staleness,
+                blend,
+            } => {
+                out.entry((node, seq))
+                    .or_default()
+                    .applies
+                    .push((e.tick, outcome, staleness, blend));
+            }
+            EventKind::LuError {
+                node,
+                seq,
+                err_le,
+                err_raw,
+            } => {
+                out.entry((node, seq)).or_default().error = Some((err_le, err_raw));
+            }
+            EventKind::InvariantViolation { .. } | EventKind::StalenessTransition { .. } => {}
+        }
+    }
+    out
+}
+
+fn has_channel_events(events: &[TraceEvent]) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::LuChannel { .. }))
+}
+
+fn population(events: &[TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LuGenerated { node, .. } => Some(node as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The default report: segments, chain completeness and stream totals.
+#[must_use]
+pub fn summary(trace: &Trace) -> String {
+    let mut out = String::new();
+    let segments = trace.segments();
+    let _ = writeln!(
+        out,
+        "trace: {} events in {} segment(s), {} dropped at the head",
+        trace.events.len(),
+        segments.len(),
+        trace.events_dropped,
+    );
+    let mut stream_violations = 0u64;
+    for (si, seg) in segments.iter().enumerate() {
+        let network = has_channel_events(seg);
+        let nodes = population(seg);
+        let first = seg.first().map_or(0, |e| e.tick);
+        let last = seg.last().map_or(0, |e| e.tick);
+        let all = chains(seg);
+        let complete = all.values().filter(|c| c.is_complete(network)).count();
+        let mut nodes_with_complete = vec![false; nodes];
+        for ((node, _), chain) in &all {
+            if chain.is_complete(network) {
+                if let Some(slot) = nodes_with_complete.get_mut(*node as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        let covered = nodes_with_complete.iter().filter(|b| **b).count();
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        let mut late = 0u64;
+        let mut retries = 0u64;
+        for e in seg.iter() {
+            match e.kind {
+                EventKind::LuChannel { attempt, fate, .. } => {
+                    retries += u64::from(attempt > 0);
+                    match fate {
+                        LinkFate::Delivered | LinkFate::DeliveredDuplicate => delivered += 1,
+                        LinkFate::Deferred | LinkFate::DroppedFault | LinkFate::DroppedCorrupted => {
+                            lost += 1;
+                        }
+                        LinkFate::ArrivedLate => late += 1,
+                        LinkFate::DroppedNoCoverage => {}
+                    }
+                }
+                EventKind::InvariantViolation { .. } => stream_violations += 1,
+                _ => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "segment {}: ticks {first}..={last}, {}, {nodes} nodes",
+            si + 1,
+            if network { "network" } else { "no network" },
+        );
+        let _ = writeln!(
+            out,
+            "  chains: {} total, {complete} complete; nodes with a complete chain: {covered}/{nodes}",
+            all.len(),
+        );
+        if network {
+            let _ = writeln!(
+                out,
+                "  channel: {delivered} delivered, {lost} lost, {late} arrived late, {retries} retries"
+            );
+        }
+    }
+    let _ = writeln!(out, "invariant violations in stream: {stream_violations}");
+    out
+}
+
+/// One node's tick-by-tick timeline across every segment.
+#[must_use]
+pub fn node_timeline(trace: &Trace, node: u32) -> String {
+    let mut out = String::new();
+    for (si, seg) in trace.segments().iter().enumerate() {
+        let network = has_channel_events(seg);
+        let all = chains(seg);
+        let _ = writeln!(out, "segment {}:", si + 1);
+        for ((_, seq), chain) in all.iter().filter(|((n, _), _)| *n == node) {
+            let _ = write!(out, "  tick {seq}:");
+            if let Some((x, y)) = chain.generated {
+                let _ = write!(out, " at ({x:.2}, {y:.2})");
+            }
+            if let Some((class, cluster, dth)) = chain.classified {
+                let _ = write!(out, " class={} cluster={cluster} dth={dth:.2}", class.name());
+            }
+            if let Some((sent, displacement, dth)) = chain.decision {
+                let verb = if sent { "sent" } else { "suppressed" };
+                let _ = write!(out, " {verb} (moved {displacement:.2} vs dth {dth:.2})");
+            }
+            for (tick, wire_seq, attempt, fate) in &chain.channel {
+                let _ = write!(out, " [{} wire_seq={wire_seq} attempt={attempt}", fate.name());
+                if *tick != u64::from(*seq) {
+                    let _ = write!(out, " at tick {tick}");
+                }
+                out.push(']');
+            }
+            for (tick, outcome, staleness, blend) in &chain.applies {
+                let _ = write!(out, " {}(staleness={staleness}, blend={blend:.3})", outcome.name());
+                if *tick != u64::from(*seq) {
+                    let _ = write!(out, "@{tick}");
+                }
+            }
+            if let Some((le, raw)) = chain.error {
+                let _ = write!(out, " err_le={le:.3} err_raw={raw:.3}");
+            }
+            if !chain.is_complete(network) {
+                let _ = write!(out, " (incomplete)");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "  chains for node {node}: {}", all.keys().filter(|(n2, _)| *n2 == node).count());
+    }
+    out
+}
+
+/// Delivery-latency distribution: ticks between an update's generation
+/// and its arrival at the broker, including deferred frames and counting
+/// retransmitted attempts separately.
+#[must_use]
+pub fn latency_report(trace: &Trace) -> String {
+    let mut dist: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut retries = 0u64;
+    let mut never = 0u64;
+    for seg in trace.segments() {
+        for ((_, seq), chain) in chains(seg) {
+            let mut arrived = false;
+            for (tick, _, attempt, fate) in &chain.channel {
+                match fate {
+                    LinkFate::Delivered | LinkFate::DeliveredDuplicate | LinkFate::ArrivedLate => {
+                        let latency = tick.saturating_sub(u64::from(seq));
+                        *dist.entry(latency).or_default() += 1;
+                        retries += u64::from(*attempt > 0);
+                        arrived = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !arrived && !chain.channel.is_empty() {
+                never += 1;
+            }
+        }
+    }
+    let mut out = String::from("delivery latency (ticks from generation to broker):\n");
+    let total: u64 = dist.values().sum();
+    for (latency, count) in &dist {
+        let _ = writeln!(
+            out,
+            "  {latency:>4} ticks: {count} ({:.1}%)",
+            100.0 * *count as f64 / total.max(1) as f64
+        );
+    }
+    let _ = writeln!(out, "arrived: {total} ({retries} after a retry), never arrived: {never}");
+    out
+}
+
+/// Longest suppression runs (consecutive suppressed decisions) per
+/// velocity cluster, the quantity the adaptive DTH trades error for.
+#[must_use]
+pub fn suppression_report(trace: &Trace) -> String {
+    // cluster → (longest run, node achieving it).
+    let mut best: BTreeMap<i32, (u64, u32)> = BTreeMap::new();
+    for seg in trace.segments() {
+        // node → (current run, cluster at run start).
+        let mut current: BTreeMap<u32, (u64, i32)> = BTreeMap::new();
+        let mut latest_cluster: BTreeMap<u32, i32> = BTreeMap::new();
+        for e in seg.iter() {
+            match e.kind {
+                EventKind::LuClassified { node, cluster, .. } => {
+                    latest_cluster.insert(node, cluster);
+                }
+                EventKind::LuDecision { node, sent, .. } => {
+                    if sent {
+                        if let Some((run, cluster)) = current.remove(&node) {
+                            let slot = best.entry(cluster).or_default();
+                            if run > slot.0 {
+                                *slot = (run, node);
+                            }
+                        }
+                    } else {
+                        let cluster = latest_cluster.get(&node).copied().unwrap_or(-1);
+                        let entry = current.entry(node).or_insert((0, cluster));
+                        entry.0 += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (node, (run, cluster)) in current {
+            let slot = best.entry(cluster).or_default();
+            if run > slot.0 {
+                *slot = (run, node);
+            }
+        }
+    }
+    let mut out = String::from("longest suppression runs per cluster:\n");
+    for (cluster, (run, node)) in &best {
+        let label = if *cluster < 0 {
+            "unclustered".to_string()
+        } else {
+            format!("cluster {cluster}")
+        };
+        let _ = writeln!(out, "  {label}: {run} consecutive ticks (node {node})");
+    }
+    if best.is_empty() {
+        out.push_str("  (no suppressed decisions in the trace)\n");
+    }
+    out
+}
+
+/// Staleness episodes: maximal runs of ticks a node spends with a
+/// positive staleness counter (consecutive losses the estimator bridges).
+#[must_use]
+pub fn staleness_report(trace: &Trace) -> String {
+    let mut episodes = 0u64;
+    let mut longest: (u64, u32) = (0, 0);
+    let mut deepest: (u32, u32) = (0, 0);
+    for seg in trace.segments() {
+        // node → current episode length.
+        let mut current: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in seg.iter() {
+            if let EventKind::LuApply {
+                node,
+                seq,
+                staleness,
+                ..
+            } = e.kind
+            {
+                // Shard applies (seq == tick) sample every node once per
+                // tick; late applies are mid-tick transients.
+                if u64::from(seq) != e.tick {
+                    continue;
+                }
+                if staleness > 0 {
+                    let run = current.entry(node).or_insert(0);
+                    *run += 1;
+                    if *run > longest.0 {
+                        longest = (*run, node);
+                    }
+                    if staleness > deepest.0 {
+                        deepest = (staleness, node);
+                    }
+                } else if current.remove(&node).is_some() {
+                    episodes += 1;
+                }
+            }
+        }
+        episodes += current.len() as u64;
+    }
+    let mut out = String::from("staleness episodes (consecutive stale ticks per node):\n");
+    let _ = writeln!(out, "  episodes: {episodes}");
+    let _ = writeln!(out, "  longest: {} ticks (node {})", longest.0, longest.1);
+    let _ = writeln!(out, "  deepest: staleness {} (node {})", deepest.0, deepest.1);
+    out
+}
+
+/// The result of replaying the invariant battery over a trace.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Complete ticks the monitors examined.
+    pub ticks_checked: u64,
+    /// Ticks excluded because ring truncation left them partial.
+    pub ticks_skipped: u64,
+    /// Violations found by the offline replay.
+    pub violations: Vec<Violation>,
+    /// `invariant_violation` events the online monitors had already
+    /// recorded into the stream.
+    pub stream_violations: u64,
+}
+
+impl CheckReport {
+    /// True when neither the replay nor the online monitors found
+    /// anything.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stream_violations == 0
+    }
+}
+
+/// Per-tick vitals reconstructed from one segment's events.
+#[derive(Debug, Default)]
+struct TickBuild {
+    tick: u64,
+    generated: u64,
+    filter_sent: u64,
+    suppressed: u64,
+    on_air: u64,
+    delivered: u64,
+    lost: u64,
+    no_coverage: u64,
+    deferred: u64,
+    arrived_late: u64,
+    flight: i64,
+    fates: Vec<NodeFate>,
+    wire_seqs: Vec<u32>,
+    staleness: Vec<u32>,
+    late_accepted: Vec<bool>,
+}
+
+fn build_ticks(seg: &[TraceEvent], network: bool, nodes: usize) -> Vec<TickBuild> {
+    let mut ticks: Vec<TickBuild> = Vec::new();
+    let mut flight: i64 = 0;
+    let mut i = 0;
+    while i < seg.len() {
+        let tick = seg[i].tick;
+        let mut b = TickBuild {
+            tick,
+            fates: vec![NodeFate::Idle; nodes],
+            wire_seqs: vec![0u32; nodes],
+            staleness: vec![0u32; nodes],
+            late_accepted: vec![false; nodes],
+            ..TickBuild::default()
+        };
+        while i < seg.len() && seg[i].tick == tick {
+            let e = &seg[i];
+            i += 1;
+            match e.kind {
+                EventKind::LuGenerated { .. } => b.generated += 1,
+                EventKind::LuDecision { node, sent, .. } => {
+                    if sent {
+                        b.filter_sent += 1;
+                        if !network {
+                            // Without a network a sent update reaches the
+                            // broker directly.
+                            if let Some(f) = b.fates.get_mut(node as usize) {
+                                *f = NodeFate::Accepted;
+                            }
+                        }
+                    } else {
+                        b.suppressed += 1;
+                    }
+                }
+                EventKind::LuChannel {
+                    node,
+                    wire_seq,
+                    fate,
+                    ..
+                } => {
+                    let slot = node as usize;
+                    match fate {
+                        LinkFate::ArrivedLate => b.arrived_late += 1,
+                        LinkFate::Delivered | LinkFate::DeliveredDuplicate => {
+                            b.on_air += 1;
+                            b.delivered += 1;
+                            if let Some(f) = b.fates.get_mut(slot) {
+                                *f = NodeFate::Accepted;
+                                b.wire_seqs[slot] = wire_seq;
+                            }
+                        }
+                        LinkFate::Deferred => {
+                            b.on_air += 1;
+                            b.lost += 1;
+                            b.deferred += 1;
+                            if let Some(f) = b.fates.get_mut(slot) {
+                                *f = NodeFate::LostInFlight;
+                                b.wire_seqs[slot] = wire_seq;
+                            }
+                        }
+                        LinkFate::DroppedNoCoverage => {
+                            b.on_air += 1;
+                            b.no_coverage += 1;
+                            if let Some(f) = b.fates.get_mut(slot) {
+                                *f = NodeFate::NoCoverage;
+                                b.wire_seqs[slot] = wire_seq;
+                            }
+                        }
+                        LinkFate::DroppedFault | LinkFate::DroppedCorrupted => {
+                            b.on_air += 1;
+                            b.lost += 1;
+                            if let Some(f) = b.fates.get_mut(slot) {
+                                *f = NodeFate::LostInFlight;
+                                b.wire_seqs[slot] = wire_seq;
+                            }
+                        }
+                    }
+                }
+                EventKind::LuApply {
+                    node,
+                    seq,
+                    outcome,
+                    staleness,
+                    ..
+                } => {
+                    let slot = node as usize;
+                    if u64::from(seq) == e.tick {
+                        if let Some(s) = b.staleness.get_mut(slot) {
+                            *s = staleness;
+                        }
+                    } else if outcome == ApplyOutcome::Accepted {
+                        if let Some(l) = b.late_accepted.get_mut(slot) {
+                            *l = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !network {
+            b.on_air = b.filter_sent;
+            b.delivered = b.filter_sent;
+        }
+        flight += b.deferred as i64 - b.arrived_late as i64;
+        b.flight = flight;
+        ticks.push(b);
+    }
+    ticks
+}
+
+/// Replays the invariant battery (in resuming mode — the stream's head
+/// may be truncated) over every segment of the trace.
+#[must_use]
+pub fn check(trace: &Trace) -> CheckReport {
+    let mut report = CheckReport {
+        ticks_checked: 0,
+        ticks_skipped: 0,
+        violations: Vec::new(),
+        stream_violations: trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::InvariantViolation { .. }))
+            .count() as u64,
+    };
+    for (si, seg) in trace.segments().iter().enumerate() {
+        let network = has_channel_events(seg);
+        let nodes = population(seg);
+        let mut ticks = build_ticks(seg, network, nodes);
+        // Ring truncation removes the oldest events, so only the first
+        // retained tick of the first segment can be partial.
+        if si == 0 && trace.events_dropped > 0 && !ticks.is_empty() {
+            ticks.remove(0);
+            report.ticks_skipped += 1;
+        }
+        // The in-flight running value starts at an unknown depth when the
+        // head is truncated; shift it so the smallest observed value is
+        // zero — the continuity law only constrains differences.
+        let base = ticks.iter().map(|t| t.flight).min().unwrap_or(0).min(0);
+        let mut monitors = MonitorSet::resuming();
+        for t in &ticks {
+            let stale_nodes = t.staleness.iter().filter(|s| **s > 0).count() as u32;
+            let vitals = TickVitals {
+                tick: t.tick,
+                generated: t.generated,
+                filter_sent: t.filter_sent,
+                suppressed: t.suppressed,
+                on_air: t.on_air,
+                delivered: t.delivered,
+                lost: t.lost,
+                no_coverage: t.no_coverage,
+                deferred: t.deferred,
+                arrived_late: t.arrived_late,
+                in_flight: (t.flight - base) as u64,
+                stale_nodes,
+                node_fates: &t.fates,
+                wire_seqs: if network { &t.wire_seqs } else { &[] },
+                staleness: &t.staleness,
+                late_accepted: &t.late_accepted,
+            };
+            report.violations.extend_from_slice(monitors.check_tick(&vitals));
+            report.ticks_checked += 1;
+        }
+    }
+    report
+}
+
+/// Renders a [`CheckReport`] for the CLI.
+#[must_use]
+pub fn check_summary(report: &CheckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} tick(s) ({} skipped as truncated)",
+        report.ticks_checked, report.ticks_skipped
+    );
+    for v in &report.violations {
+        let _ = writeln!(out, "VIOLATION {v}");
+    }
+    if report.stream_violations > 0 {
+        let _ = writeln!(
+            out,
+            "VIOLATION {} invariant_violation event(s) recorded online",
+            report.stream_violations
+        );
+    }
+    if report.is_clean() {
+        out.push_str("all invariants hold\n");
+    }
+    out
+}
+
+/// The queries the `trace` binary answers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCli {
+    /// The JSONL export to analyse.
+    pub path: String,
+    /// Print one node's timeline.
+    pub node: Option<u32>,
+    /// Print the delivery-latency distribution.
+    pub latency: bool,
+    /// Print the longest suppression runs per cluster.
+    pub suppression: bool,
+    /// Print staleness episodes.
+    pub staleness: bool,
+    /// Replay the invariant monitors and fail on violations.
+    pub check: bool,
+}
+
+const USAGE: &str =
+    "usage: trace FILE.jsonl [--node N] [--latency] [--suppression] [--staleness] [--check]";
+
+/// Parses the `trace` binary's arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or a missing file operand.
+pub fn parse_trace_args<I>(args: I) -> Result<TraceCli, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut cli = TraceCli::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--node" => {
+                let v = args.next().ok_or_else(|| format!("--node needs a value; {USAGE}"))?;
+                cli.node = Some(v.parse().map_err(|_| format!("--node needs an integer; {USAGE}"))?);
+            }
+            "--latency" => cli.latency = true,
+            "--suppression" => cli.suppression = true,
+            "--staleness" => cli.staleness = true,
+            "--check" => cli.check = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}; {USAGE}"));
+            }
+            path if cli.path.is_empty() => cli.path = path.to_string(),
+            _ => return Err(format!("more than one input file; {USAGE}")),
+        }
+    }
+    if cli.path.is_empty() {
+        return Err(format!("an input file is required; {USAGE}"));
+    }
+    Ok(cli)
+}
+
+/// Runs the selected queries over an already-parsed trace and returns the
+/// rendered output plus the process exit code (1 when `--check` found a
+/// violation, 0 otherwise).
+#[must_use]
+pub fn run_queries(cli: &TraceCli, trace: &Trace) -> (String, i32) {
+    let mut out = String::new();
+    let mut code = 0;
+    let specific = cli.node.is_some() || cli.latency || cli.suppression || cli.staleness || cli.check;
+    if !specific {
+        out.push_str(&summary(trace));
+    }
+    if let Some(node) = cli.node {
+        out.push_str(&node_timeline(trace, node));
+    }
+    if cli.latency {
+        out.push_str(&latency_report(trace));
+    }
+    if cli.suppression {
+        out.push_str(&suppression_report(trace));
+    }
+    if cli.staleness {
+        out.push_str(&staleness_report(trace));
+    }
+    if cli.check {
+        let report = check(trace);
+        out.push_str(&check_summary(&report));
+        if !report.is_clean() {
+            code = 1;
+        }
+    }
+    (out, code)
+}
+
+/// Entry point for the `trace` binary: parse flags, read and parse the
+/// file, run the queries, print, and return the exit code.
+///
+/// # Errors
+///
+/// Returns CLI, I/O and parse errors as strings for the binary to print.
+pub fn run_main<I>(args: I) -> Result<(String, i32), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let cli = parse_trace_args(args)?;
+    let text = std::fs::read_to_string(&cli.path).map_err(|e| format!("reading {}: {e}", cli.path))?;
+    let trace = parse_trace(&text).map_err(|e| format!("{}: {e}", cli.path))?;
+    Ok(run_queries(&cli, &trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_line(tick: u64, body: &str) -> String {
+        format!("{{\"type\":\"event\",\"tick\":{tick},\"seq\":0,{body}}}")
+    }
+
+    fn mini_trace(events_dropped: u64, lines: &[String]) -> String {
+        let mut out = format!(
+            "{{\"type\":\"meta\",\"format\":\"mobigrid-telemetry/2\",\"counters\":0,\"gauges\":0,\"histograms\":0,\"spans\":0,\"events\":{},\"spans_dropped\":0,\"events_dropped\":{events_dropped}}}\n",
+            lines.len()
+        );
+        for l in lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One healthy no-network tick for one node.
+    fn healthy_tick(tick: u64, staleness: u32) -> Vec<String> {
+        vec![
+            event_line(
+                tick,
+                &format!("\"kind\":\"lu_generated\",\"node\":0,\"seq\":{tick},\"x\":1.0,\"y\":2.0"),
+            ),
+            event_line(
+                tick,
+                &format!(
+                    "\"kind\":\"lu_decision\",\"node\":0,\"seq\":{tick},\"sent\":true,\"displacement\":null,\"dth\":0.0"
+                ),
+            ),
+            event_line(
+                tick,
+                &format!(
+                    "\"kind\":\"lu_apply\",\"node\":0,\"seq\":{tick},\"outcome\":\"accepted\",\"staleness\":{staleness},\"blend\":1.0"
+                ),
+            ),
+            event_line(
+                tick,
+                &format!("\"kind\":\"lu_error\",\"node\":0,\"seq\":{tick},\"err_le\":0.0,\"err_raw\":0.0"),
+            ),
+        ]
+    }
+
+    #[test]
+    fn parses_and_reconstructs_chains() {
+        let mut lines = healthy_tick(1, 0);
+        lines.extend(healthy_tick(2, 0));
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        assert_eq!(trace.events.len(), 8);
+        let segments = trace.segments();
+        assert_eq!(segments.len(), 1);
+        let all = chains(segments[0]);
+        assert_eq!(all.len(), 2);
+        for chain in all.values() {
+            assert!(chain.is_complete(false), "{chain:?}");
+        }
+    }
+
+    #[test]
+    fn segments_split_at_tick_regressions() {
+        let mut lines = healthy_tick(5, 0);
+        lines.extend(healthy_tick(6, 0));
+        lines.extend(healthy_tick(1, 0)); // second run starts
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        assert_eq!(trace.segments().len(), 2);
+    }
+
+    #[test]
+    fn check_passes_a_healthy_trace() {
+        let mut lines = Vec::new();
+        for t in 1..=5 {
+            lines.extend(healthy_tick(t, 0));
+        }
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        let report = check(&trace);
+        assert_eq!(report.ticks_checked, 5);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn check_flags_a_seeded_conservation_violation() {
+        let mut lines = healthy_tick(1, 0);
+        // Tick 2 generates an update but records no decision for it.
+        lines.push(event_line(
+            2,
+            "\"kind\":\"lu_generated\",\"node\":0,\"seq\":2,\"x\":1.0,\"y\":2.0",
+        ));
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        let report = check(&trace);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.monitor == MonitorKind::FilterConservation && v.tick == 2));
+    }
+
+    #[test]
+    fn check_flags_a_seeded_staleness_violation() {
+        let mut lines = healthy_tick(1, 0);
+        lines.extend(healthy_tick(2, 0));
+        // Tick 3 claims the accepted node is suddenly stale.
+        lines.extend(healthy_tick(3, 7));
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        let report = check(&trace);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.monitor == MonitorKind::StalenessConsistency && v.tick == 3));
+    }
+
+    #[test]
+    fn truncated_first_tick_is_skipped() {
+        let mut lines = vec![event_line(
+            1,
+            "\"kind\":\"lu_error\",\"node\":0,\"seq\":1,\"err_le\":0.0,\"err_raw\":0.0",
+        )];
+        lines.extend(healthy_tick(2, 0));
+        let trace = parse_trace(&mini_trace(3, &lines)).unwrap();
+        let report = check(&trace);
+        assert_eq!(report.ticks_skipped, 1);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = mini_trace(0, &[String::from("{\"type\":\"event\",\"tick\":1}")]);
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_trace("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(err.contains("unknown line type"), "{err}");
+    }
+
+    #[test]
+    fn cli_parses_flags_and_requires_a_file() {
+        let cli = parse_trace_args(
+            ["t.jsonl", "--node", "3", "--check", "--latency"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        )
+        .unwrap();
+        assert_eq!(cli.path, "t.jsonl");
+        assert_eq!(cli.node, Some(3));
+        assert!(cli.check && cli.latency);
+        assert!(!cli.suppression && !cli.staleness);
+        assert!(parse_trace_args(std::iter::empty()).is_err());
+        assert!(parse_trace_args(["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn check_exit_code_reflects_violations() {
+        let mut lines = healthy_tick(1, 0);
+        let trace = parse_trace(&mini_trace(0, &lines)).unwrap();
+        let cli = TraceCli {
+            path: "x".into(),
+            check: true,
+            ..TraceCli::default()
+        };
+        let (out, code) = run_queries(&cli, &trace);
+        assert_eq!(code, 0);
+        assert!(out.contains("all invariants hold"));
+
+        lines.push(event_line(
+            2,
+            "\"kind\":\"lu_generated\",\"node\":0,\"seq\":2,\"x\":0.0,\"y\":0.0",
+        ));
+        let bad = parse_trace(&mini_trace(0, &lines)).unwrap();
+        let (out, code) = run_queries(&cli, &bad);
+        assert_eq!(code, 1);
+        assert!(out.contains("VIOLATION"), "{out}");
+    }
+}

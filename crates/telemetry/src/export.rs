@@ -56,11 +56,94 @@ fn write_histogram(out: &mut String, name: &str, h: &HistogramDelta) {
 
 fn write_event_kind(out: &mut String, kind: &EventKind) {
     match kind {
-        EventKind::FilterDecision { node, sent } => {
-            let _ = write!(out, "\"kind\":\"filter_decision\",\"node\":{node},\"sent\":{sent}");
+        EventKind::LuGenerated { node, seq, x, y } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_generated\",\"node\":{node},\"seq\":{seq},\"x\":{},\"y\":{}",
+                json_f64(*x),
+                json_f64(*y)
+            );
         }
-        EventKind::LinkFate { node, fate } => {
-            let _ = write!(out, "\"kind\":\"link_fate\",\"node\":{node},\"fate\":\"{}\"", fate.name());
+        EventKind::LuClassified {
+            node,
+            seq,
+            class,
+            cluster,
+            dth,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_classified\",\"node\":{node},\"seq\":{seq},\"class\":\"{}\",\"cluster\":{cluster},\"dth\":{}",
+                class.name(),
+                json_f64(*dth)
+            );
+        }
+        EventKind::LuDecision {
+            node,
+            seq,
+            sent,
+            displacement,
+            dth,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_decision\",\"node\":{node},\"seq\":{seq},\"sent\":{sent},\"displacement\":{},\"dth\":{}",
+                json_f64(*displacement),
+                json_f64(*dth)
+            );
+        }
+        EventKind::LuChannel {
+            node,
+            seq,
+            wire_seq,
+            attempt,
+            fate,
+            due_tick,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_channel\",\"node\":{node},\"seq\":{seq},\"wire_seq\":{wire_seq},\"attempt\":{attempt},\"fate\":\"{}\",\"due_tick\":{due_tick}",
+                fate.name()
+            );
+        }
+        EventKind::LuApply {
+            node,
+            seq,
+            outcome,
+            staleness,
+            blend,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_apply\",\"node\":{node},\"seq\":{seq},\"outcome\":\"{}\",\"staleness\":{staleness},\"blend\":{}",
+                outcome.name(),
+                json_f64(*blend)
+            );
+        }
+        EventKind::LuError {
+            node,
+            seq,
+            err_le,
+            err_raw,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"lu_error\",\"node\":{node},\"seq\":{seq},\"err_le\":{},\"err_raw\":{}",
+                json_f64(*err_le),
+                json_f64(*err_raw)
+            );
+        }
+        EventKind::InvariantViolation {
+            monitor,
+            node,
+            expected,
+            actual,
+        } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"invariant_violation\",\"monitor\":\"{}\",\"node\":{node},\"expected\":{expected},\"actual\":{actual}",
+                monitor.name()
+            );
         }
         EventKind::StalenessTransition {
             stale_nodes,
@@ -83,7 +166,7 @@ impl MemoryRecorder {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"format\":\"mobigrid-telemetry/1\",\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{},\"events\":{},\"spans_dropped\":{},\"events_dropped\":{}}}",
+            "{{\"type\":\"meta\",\"format\":\"mobigrid-telemetry/2\",\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":{},\"events\":{},\"spans_dropped\":{},\"events_dropped\":{}}}",
             self.counters.len(),
             self.gauges.len(),
             self.histograms.len(),
@@ -158,9 +241,10 @@ impl MemoryRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{LinkFate, Phase};
+    use crate::event::{ApplyOutcome, LinkFate, MobilityClass, Phase};
     use crate::hist::BucketSpec;
     use crate::json;
+    use crate::monitor::MonitorKind;
     use crate::recorder::Recorder;
 
     fn sample() -> MemoryRecorder {
@@ -175,10 +259,52 @@ mod tests {
         h.record(1e9);
         rec.histogram_merge("sim.err_with_le", &h);
         rec.span(Phase::Observe, 140);
-        rec.event(EventKind::FilterDecision { node: 3, sent: false });
-        rec.event(EventKind::LinkFate {
+        rec.event(EventKind::LuGenerated {
             node: 3,
+            seq: 1,
+            x: 10.0,
+            y: -2.5,
+        });
+        rec.event(EventKind::LuClassified {
+            node: 3,
+            seq: 1,
+            class: MobilityClass::Linear,
+            cluster: 2,
+            dth: 40.0,
+        });
+        rec.event(EventKind::LuDecision {
+            node: 3,
+            seq: 1,
+            sent: true,
+            displacement: f64::NAN,
+            dth: 40.0,
+        });
+        rec.event(EventKind::LuChannel {
+            node: 3,
+            seq: 1,
+            wire_seq: 7,
+            attempt: 0,
             fate: LinkFate::DroppedFault,
+            due_tick: 0,
+        });
+        rec.event(EventKind::LuApply {
+            node: 3,
+            seq: 1,
+            outcome: ApplyOutcome::Degraded,
+            staleness: 2,
+            blend: 0.875,
+        });
+        rec.event(EventKind::LuError {
+            node: 3,
+            seq: 1,
+            err_le: 1.25,
+            err_raw: 3.5,
+        });
+        rec.event(EventKind::InvariantViolation {
+            monitor: MonitorKind::FilterConservation,
+            node: u32::MAX,
+            expected: 140,
+            actual: 139,
         });
         rec.event(EventKind::StalenessTransition {
             stale_nodes: 1,
@@ -191,10 +317,22 @@ mod tests {
     fn jsonl_lines_all_parse() {
         let text = sample().to_jsonl();
         let lines = json::validate_jsonl(&text).expect("every line must be valid JSON");
-        // meta + counter + 2 gauges + histogram + span + 3 events.
-        assert_eq!(lines, 9);
+        // meta + counter + 2 gauges + histogram + span + 8 events.
+        assert_eq!(lines, 14);
+        assert!(text.contains("\"format\":\"mobigrid-telemetry/2\""));
         assert!(text.contains("\"name\":\"sim.sent\",\"value\":4"));
-        assert!(text.contains("\"fate\":\"dropped_fault\""));
+        assert!(text.contains("\"kind\":\"lu_generated\",\"node\":3,\"seq\":1,\"x\":10.0,\"y\":-2.5"));
+        assert!(text.contains("\"class\":\"linear\",\"cluster\":2"));
+        assert!(
+            text.contains("\"sent\":true,\"displacement\":null"),
+            "NaN displacement must render as null"
+        );
+        assert!(text.contains("\"wire_seq\":7,\"attempt\":0,\"fate\":\"dropped_fault\""));
+        assert!(text.contains("\"outcome\":\"degraded\",\"staleness\":2,\"blend\":0.875"));
+        assert!(text.contains("\"err_le\":1.25,\"err_raw\":3.5"));
+        assert!(text.contains(
+            "\"kind\":\"invariant_violation\",\"monitor\":\"filter_conservation\",\"node\":4294967295,\"expected\":140,\"actual\":139"
+        ));
         assert!(text.contains("\"phase\":\"observe\""));
         assert!(text.contains("\"value\":null"), "NaN gauge must render as null");
     }

@@ -29,10 +29,15 @@
 //! * [`BucketSpec`] / [`HistogramDelta`] — fixed log-spaced histograms
 //!   whose merge is exact.
 //! * [`Phase`], [`EventKind`], [`EventRing`] — per-phase timing spans and
-//!   a bounded structured event ring (filter decisions, fault-channel
-//!   fates, broker staleness transitions).
+//!   a bounded structured event ring carrying the per-LU flight-recorder
+//!   chain (generated → classified → filter decision → channel fate →
+//!   broker apply → error sample) plus invariant-violation events.
+//! * [`monitor`] — online invariant monitors ([`MonitorSet`]) replaying
+//!   conservation laws over per-tick vitals, both live in the pipeline and
+//!   offline from an exported trace.
 //! * JSONL / CSV exporters on [`MemoryRecorder`], plus a tiny dependency-
-//!   free [`json`] validator used by the tests and the CI smoke step.
+//!   free [`json`] validator/parser used by the tests, the trace CLI and
+//!   the CI smoke step.
 //!
 //! # Examples
 //!
@@ -55,9 +60,13 @@ mod event;
 mod export;
 mod hist;
 pub mod json;
+pub mod monitor;
 mod recorder;
 
 pub use clock::{Stamp, TickClock};
-pub use event::{Event, EventKind, EventRing, LinkFate, Phase, SpanRecord};
+pub use event::{
+    ApplyOutcome, Event, EventKind, EventRing, LinkFate, MobilityClass, Phase, SpanRecord,
+};
 pub use hist::{BucketSpec, HistogramDelta, MAX_BUCKETS};
+pub use monitor::{Monitor, MonitorKind, MonitorSet, NodeFate, TickVitals, Violation};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};

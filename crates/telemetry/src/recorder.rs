@@ -281,7 +281,13 @@ mod tests {
         let mut noop = NoopRecorder;
         assert!(!noop.enabled());
         noop.counter_add("x", 1);
-        noop.event(EventKind::FilterDecision { node: 0, sent: true });
+        noop.event(EventKind::LuDecision {
+            node: 0,
+            seq: 0,
+            sent: true,
+            displacement: f64::NAN,
+            dth: f64::NAN,
+        });
         let child = noop.fork();
         assert!(!child.enabled());
     }
@@ -294,9 +300,13 @@ mod tests {
         rec.counter_add("sim.sent", 1);
         rec.gauge_set("g", 0.5);
         rec.span(Phase::Observe, 10);
-        rec.event(EventKind::LinkFate {
+        rec.event(EventKind::LuChannel {
             node: 7,
+            seq: 3,
+            wire_seq: 0,
+            attempt: 0,
             fate: LinkFate::Delivered,
+            due_tick: 0,
         });
         assert_eq!(rec.counter("sim.sent"), 3);
         assert_eq!(rec.gauge("g"), Some(0.5));
