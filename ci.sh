@@ -47,6 +47,16 @@ cargo run --release -p mobigrid-experiments --bin experiment -- \
 cargo run --release -p mobigrid-experiments --bin trace -- "$flight_jsonl" --check
 rm -f "$flight_jsonl"
 
+echo "==> SoA equivalence suite"
+cargo test -q -p mobigrid-experiments --test soa_equivalence
+
+echo "==> metro_100k smoke (scale sweep, 50-tick cap)"
+# Drives the columnar engine through campus_140 -> city_1140 -> metro_100k;
+# the 100k-node city must build and tick. The printed ns/tick is advisory
+# (CI containers are noisy); completion is the gate.
+cargo run --release -p mobigrid-experiments --bin experiment -- \
+  --experiment scale --ticks 50
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
@@ -55,5 +65,8 @@ cargo clippy --workspace -- -D warnings
 
 echo "==> cargo clippy -p mobigrid-telemetry -- -D warnings -D missing-docs"
 cargo clippy -p mobigrid-telemetry -- -D warnings -D missing-docs
+
+echo "==> cargo clippy -p mobigrid-adf -- -D warnings -D missing-docs"
+cargo clippy -p mobigrid-adf -- -D warnings -D missing-docs
 
 echo "CI OK"

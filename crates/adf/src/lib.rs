@@ -42,6 +42,7 @@
 
 mod broker;
 mod classifier;
+pub mod columns;
 mod config;
 mod filter;
 mod node;
@@ -52,6 +53,7 @@ mod stats;
 
 pub use broker::{ApplyInfo, BrokerDelta, BrokerShard, EstimatorKind, GridBroker, LocationRecord};
 pub use classifier::{MobilityClassifier, MotionSample};
+pub use columns::{MovementShard, NodeColumns, NodeView};
 pub use config::AdfConfig;
 pub use filter::{Decision, DistanceFilter, FilterReference};
 pub use node::MobileNode;

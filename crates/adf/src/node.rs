@@ -1,29 +1,54 @@
-use rand::rngs::StdRng;
-
 use mobigrid_campus::{RegionId, RegionKind};
 use mobigrid_geo::Point;
-use mobigrid_mobility::{MobilityModel, MobilityPattern, NodeType, Trace};
+use mobigrid_mobility::{MobilityEngine, MobilityKind, MobilityModel, MobilityPattern, NodeType, Trace};
+use mobigrid_sim::SplitMix64;
 use mobigrid_wireless::{MnId, RetryPolicy};
 
 /// A mobile grid node: identity, workload metadata and its ground-truth
 /// mobility generator.
 ///
-/// The node owns its RNG (seeded deterministically per node by the workload
-/// generator) and records its ground-truth trace, which the experiments
-/// compare broker beliefs against.
+/// The node owns its RNG state (seeded deterministically per node by the
+/// workload generator, via the golden-trace-compatible
+/// [`SplitMix64::from_stdrng_seed`] path) and records its ground-truth
+/// trace, which the experiments compare broker beliefs against.
+///
+/// Inside [`MobileGridSim`](crate::MobileGridSim) the population does not
+/// live as a `Vec<MobileNode>`: the builder decomposes the nodes into the
+/// dense [`NodeColumns`](crate::NodeColumns) SoA store and `MobileNode`
+/// survives only as the construction-time carrier (and, via
+/// [`NodeView`](crate::NodeView), as the read-only facade). Stand-alone
+/// drivers (interval resampling, federated ticking) still step `MobileNode`
+/// directly; both paths produce bit-identical trajectories.
 pub struct MobileNode {
     id: MnId,
     region: RegionId,
     region_kind: RegionKind,
     node_type: NodeType,
     declared_pattern: MobilityPattern,
-    model: Box<dyn MobilityModel + Send>,
-    rng: StdRng,
+    engine: MobilityEngine,
+    rng: SplitMix64,
     position: Point,
     trace: Trace,
     record_trace: bool,
     home_anchor: Option<Point>,
     retry_policy: Option<RetryPolicy>,
+}
+
+/// A `MobileNode` decomposed into its per-column values, consumed by
+/// `NodeColumns::from_nodes`.
+pub(crate) struct NodeParts {
+    pub(crate) id: MnId,
+    pub(crate) region: RegionId,
+    pub(crate) region_kind: RegionKind,
+    pub(crate) node_type: NodeType,
+    pub(crate) declared_pattern: MobilityPattern,
+    pub(crate) engine: MobilityEngine,
+    pub(crate) rng: SplitMix64,
+    pub(crate) position: Point,
+    pub(crate) trace: Trace,
+    pub(crate) record_trace: bool,
+    pub(crate) home_anchor: Option<Point>,
+    pub(crate) retry_policy: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for MobileNode {
@@ -43,24 +68,31 @@ impl MobileNode {
     /// Creates a node. `declared_pattern` is the Table-1 workload label
     /// (what the generator intends), which the ADF's classifier tries to
     /// recover from motion alone.
+    ///
+    /// `model` is any concrete mobility model (or an already-built
+    /// [`MobilityEngine`], or a legacy `Box<dyn MobilityModel + Send>` for
+    /// out-of-tree models). `rng_seed` seeds the node's SplitMix64 stream
+    /// exactly like the former per-node `StdRng::seed_from_u64(rng_seed)`
+    /// did, so trajectories are unchanged from the AoS era.
     pub fn new(
         id: MnId,
         region: RegionId,
         region_kind: RegionKind,
         node_type: NodeType,
         declared_pattern: MobilityPattern,
-        model: Box<dyn MobilityModel + Send>,
-        rng: StdRng,
+        model: impl Into<MobilityEngine>,
+        rng_seed: u64,
     ) -> Self {
-        let position = model.position();
+        let engine = model.into();
+        let position = engine.position();
         MobileNode {
             id,
             region,
             region_kind,
             node_type,
             declared_pattern,
-            model,
-            rng,
+            engine,
+            rng: SplitMix64::from_stdrng_seed(rng_seed),
             position,
             trace: Trace::new(),
             record_trace: false,
@@ -143,6 +175,12 @@ impl MobileNode {
         self.declared_pattern
     }
 
+    /// Which mobility-engine variant drives this node.
+    #[must_use]
+    pub fn mobility_kind(&self) -> MobilityKind {
+        self.engine.kind()
+    }
+
     /// Current ground-truth position.
     #[must_use]
     pub fn position(&self) -> Point {
@@ -160,11 +198,29 @@ impl MobileNode {
     /// returning the new position. Records the trace point only when trace
     /// recording is enabled.
     pub fn step(&mut self, time_s: f64, dt: f64) -> Point {
-        self.position = self.model.step(dt, &mut self.rng);
+        self.position = self.engine.step(dt, &mut self.rng);
         if self.record_trace {
             self.trace.record(time_s, self.position);
         }
         self.position
+    }
+
+    /// Decomposes the node into its column values (builder → SoA handoff).
+    pub(crate) fn into_parts(self) -> NodeParts {
+        NodeParts {
+            id: self.id,
+            region: self.region,
+            region_kind: self.region_kind,
+            node_type: self.node_type,
+            declared_pattern: self.declared_pattern,
+            engine: self.engine,
+            rng: self.rng,
+            position: self.position,
+            trace: self.trace,
+            record_trace: self.record_trace,
+            home_anchor: self.home_anchor,
+            retry_policy: self.retry_policy,
+        }
     }
 }
 
@@ -172,8 +228,8 @@ impl MobileNode {
 mod tests {
     use super::*;
     use mobigrid_campus::RegionId;
-    use mobigrid_mobility::StopModel;
-    use rand::SeedableRng;
+    use mobigrid_geo::Rect;
+    use mobigrid_mobility::{RandomWalk, StopModel};
 
     fn parked_node() -> MobileNode {
         MobileNode::new(
@@ -182,8 +238,8 @@ mod tests {
             RegionKind::Building,
             NodeType::Human,
             MobilityPattern::Stop,
-            Box::new(StopModel::new(Point::new(7.0, 8.0))),
-            StdRng::seed_from_u64(1),
+            StopModel::new(Point::new(7.0, 8.0)),
+            1,
         )
     }
 
@@ -196,6 +252,7 @@ mod tests {
         assert_eq!(n.node_type(), NodeType::Human);
         assert_eq!(n.declared_pattern(), MobilityPattern::Stop);
         assert_eq!(n.position(), Point::new(7.0, 8.0));
+        assert_eq!(n.mobility_kind(), MobilityKind::Stop);
     }
 
     #[test]
@@ -209,5 +266,34 @@ mod tests {
         assert_eq!(silent.trace().len(), 0);
         assert_eq!(recording.trace().len(), 5);
         assert_eq!(recording.trace().total_distance(), 0.0);
+    }
+
+    /// The seed-compat contract at the node level: a node seeded with
+    /// `rng_seed` walks the exact trajectory of the legacy AoS node that
+    /// held `StdRng::seed_from_u64(rng_seed)` and a boxed model.
+    #[test]
+    fn trajectory_matches_legacy_boxed_stdrng_driver() {
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0)).unwrap();
+        let start = Point::new(20.0, 20.0);
+        let mut node = MobileNode::new(
+            MnId::new(0),
+            RegionId::from_index(0),
+            RegionKind::Building,
+            NodeType::Human,
+            MobilityPattern::Random,
+            RandomWalk::new(bounds, start, 1.2),
+            99,
+        );
+        // The legacy driver, reproduced inline: boxed dyn model + StdRng.
+        let mut model: Box<dyn MobilityModel + Send> =
+            Box::new(RandomWalk::new(bounds, start, 1.2));
+        let mut rng = StdRng::seed_from_u64(99);
+        for t in 1..=200 {
+            let got = node.step(t as f64, 1.0);
+            let want = model.step(1.0, &mut rng);
+            assert_eq!(got, want, "tick {t}");
+        }
     }
 }

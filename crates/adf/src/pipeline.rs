@@ -14,7 +14,10 @@ use mobigrid_wireless::{
 
 use crate::broker::{ApplyInfo, BrokerDelta, BrokerShard};
 use crate::runtime::{FaultSpec, RuntimeOptions, SimError};
-use crate::{Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, RegionTally};
+use crate::{
+    Decision, EstimatorKind, FilterPolicy, GridBroker, MobileNode, NodeColumns, NodeView,
+    RegionTally,
+};
 
 /// Nodes per shard in the parallel tick phases.
 ///
@@ -224,12 +227,6 @@ impl SimBuilder {
         let mut broker_raw = GridBroker::new(EstimatorKind::WithoutLe).map_err(SimError::Config)?;
         broker_le.ensure_nodes(self.nodes.len());
         broker_raw.ensure_nodes(self.nodes.len());
-        for node in &self.nodes {
-            if let Some(anchor) = node.home_anchor() {
-                broker_le.set_home_anchor(node.id(), anchor);
-                broker_raw.set_home_anchor(node.id(), anchor);
-            }
-        }
         let channel = match &self.runtime.faults {
             Some(FaultSpec { plan, seed }) => {
                 if self.network.is_none() {
@@ -241,22 +238,29 @@ impl SimBuilder {
             }
             None => None,
         };
+        // Dense ids were validated above: decompose the population into the
+        // columnar SoA store the tick kernels sweep.
+        let cols = NodeColumns::from_nodes(self.nodes);
+        for (i, anchor) in cols.home_anchors().iter().enumerate() {
+            if let Some(anchor) = anchor {
+                broker_le.set_home_anchor(MnId::new(i as u32), *anchor);
+                broker_raw.set_home_anchor(MnId::new(i as u32), *anchor);
+            }
+        }
         // Per-node policies win; `runtime.retry` fills the gaps.
-        let retry_policies: Vec<Option<RetryPolicy>> = self
-            .nodes
+        let retry_policies: Vec<Option<RetryPolicy>> = cols
+            .retry_policies()
             .iter()
-            .map(|n| n.retry_policy().or(self.runtime.retry))
+            .map(|p| p.or(self.runtime.retry))
             .collect();
         for policy in retry_policies.iter().flatten() {
             policy.validate()?;
         }
-        let seqs = vec![0u32; self.nodes.len()];
-        let retry = vec![RetryState::IDLE; self.nodes.len()];
-        let kinds: Vec<RegionKind> = self.nodes.iter().map(MobileNode::region_kind).collect();
-        let scratch = TickScratch::new(self.nodes.len());
+        let seqs = vec![0u32; cols.len()];
+        let retry = vec![RetryState::IDLE; cols.len()];
+        let scratch = TickScratch::new(cols.len());
         Ok(MobileGridSim {
-            nodes: self.nodes,
-            kinds,
+            cols,
             policy,
             broker_le,
             broker_raw,
@@ -378,7 +382,6 @@ impl RetryState {
 /// use mobigrid_geo::Point;
 /// use mobigrid_mobility::{MobilityPattern, NodeType, StopModel};
 /// use mobigrid_wireless::MnId;
-/// use rand::SeedableRng;
 ///
 /// let node = MobileNode::new(
 ///     MnId::new(0),
@@ -386,8 +389,8 @@ impl RetryState {
 ///     RegionKind::Building,
 ///     NodeType::Human,
 ///     MobilityPattern::Stop,
-///     Box::new(StopModel::new(Point::new(1.0, 1.0))),
-///     rand::rngs::StdRng::seed_from_u64(0),
+///     StopModel::new(Point::new(1.0, 1.0)),
+///     0,
 /// );
 /// let mut sim = SimBuilder::new()
 ///     .nodes(vec![node])
@@ -399,10 +402,9 @@ impl RetryState {
 /// assert_eq!(stats.rmse_without_le, 0.0); // ideal policy: no error
 /// ```
 pub struct MobileGridSim {
-    nodes: Vec<MobileNode>,
-    /// Each node's (immutable) home-region kind, cached densely by node
-    /// index so the parallel phase can share it without touching the nodes.
-    kinds: Vec<RegionKind>,
+    /// The node population as a dense columnar store: movement state,
+    /// metadata and the region-kind column the parallel phases slice.
+    cols: NodeColumns,
     policy: Box<dyn FilterPolicy + Send>,
     broker_le: GridBroker,
     broker_raw: GridBroker,
@@ -431,7 +433,7 @@ pub struct MobileGridSim {
 impl std::fmt::Debug for MobileGridSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MobileGridSim")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.cols.len())
             .field("policy", &self.policy.name())
             .field("tick", &self.tick)
             .field("threads", &self.pool.threads())
@@ -506,10 +508,27 @@ impl MobileGridSim {
         SimBuilder::new()
     }
 
-    /// The node population.
+    /// The node population's columnar store.
     #[must_use]
-    pub fn nodes(&self) -> &[MobileNode] {
-        &self.nodes
+    pub fn columns(&self) -> &NodeColumns {
+        &self.cols
+    }
+
+    /// Number of nodes in the population.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// A read-only facade over node `index` (dense ids: `index` is the
+    /// node's [`MnId`] value).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= node_count()`.
+    #[must_use]
+    pub fn node(&self, index: usize) -> NodeView<'_> {
+        self.cols.view(index)
     }
 
     /// The filter policy under test.
@@ -647,19 +666,16 @@ impl MobileGridSim {
         let dt = self.dt;
         let scratch = &mut self.scratch;
 
-        // 1. Advance ground truth — shard-parallel, each shard writing its
-        //    observations into a disjoint slice of the flat buffer. Each
-        //    node owns its RNG, so per-node trajectories are independent of
-        //    scheduling.
+        // 1. Advance ground truth — the columnar movement kernel, shard-
+        //    parallel, each shard sweeping disjoint slices of the engine /
+        //    RNG / position columns and writing its observations into a
+        //    disjoint slice of the flat buffer. Each node owns its RNG
+        //    state, so per-node trajectories are independent of scheduling.
         self.pool.for_each(
-            self.nodes
-                .chunks_mut(SHARD_SIZE)
+            self.cols
+                .movement_shards(SHARD_SIZE)
                 .zip(scratch.observations.chunks_mut(SHARD_SIZE)),
-            |_, (nodes, obs)| {
-                for (n, slot) in nodes.iter_mut().zip(obs) {
-                    *slot = (n.id(), n.step(time_s, dt));
-                }
-            },
+            |i, (shard, obs)| shard.advance(i * SHARD_SIZE, time_s, dt, obs),
         );
 
         rec.span(Phase::Observe, scratch.observations.len() as u64);
@@ -910,7 +926,8 @@ impl MobileGridSim {
         // slots. The job list is a lazy zip of per-shard slices; results
         // land in the reused `outs` buffer in shard order.
         let jobs = self
-            .kinds
+            .cols
+            .region_kinds()
             .chunks(SHARD_SIZE)
             .zip(scratch.observations.chunks(SHARD_SIZE))
             .zip(scratch.decisions.chunks(SHARD_SIZE))
@@ -1245,8 +1262,6 @@ mod tests {
     use mobigrid_geo::{Point, Polyline};
     use mobigrid_mobility::{LoopMode, MobilityPattern, NodeType, PathFollower, StopModel};
     use mobigrid_wireless::MnId;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn walker(id: u32, speed: f64) -> MobileNode {
         let y = f64::from(id) * 50.0;
@@ -1257,8 +1272,8 @@ mod tests {
             RegionKind::Road,
             NodeType::Human,
             MobilityPattern::Linear,
-            Box::new(PathFollower::new(path, speed, LoopMode::PingPong)),
-            StdRng::seed_from_u64(u64::from(id)),
+            PathFollower::new(path, speed, LoopMode::PingPong),
+            u64::from(id),
         )
     }
 
@@ -1269,8 +1284,8 @@ mod tests {
             RegionKind::Building,
             NodeType::Human,
             MobilityPattern::Stop,
-            Box::new(StopModel::new(Point::new(500.0, 500.0))),
-            StdRng::seed_from_u64(u64::from(id)),
+            StopModel::new(Point::new(500.0, 500.0)),
+            u64::from(id),
         )
     }
 

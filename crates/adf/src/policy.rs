@@ -252,6 +252,55 @@ struct AdfNodeState {
     cluster: Option<usize>,
 }
 
+/// Dense per-node state table indexed by [`MnId::index`].
+///
+/// Node ids in this codebase are dense (`0..population`), so a flat `Vec`
+/// replaces the pointer-chasing `BTreeMap` the hot observe loop used to
+/// traverse twice per node per tick. Unobserved slots hold `None`; memory
+/// is proportional to the largest observed id, not the id space. Every
+/// iterator below walks slots in ascending-id order — exactly the order
+/// `BTreeMap` iteration used — so classification, BSAS feature order and
+/// Welford pushes are bit-identical to the map-based implementation.
+#[derive(Default)]
+struct AdfNodeTable {
+    slots: Vec<Option<AdfNodeState>>,
+}
+
+impl AdfNodeTable {
+    fn get(&self, node: MnId) -> Option<&AdfNodeState> {
+        self.slots.get(node.index()).and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, node: MnId) -> Option<&mut AdfNodeState> {
+        self.slots.get_mut(node.index()).and_then(Option::as_mut)
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        node: MnId,
+        init: impl FnOnce() -> AdfNodeState,
+    ) -> &mut AdfNodeState {
+        let index = node.index();
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        self.slots[index].get_or_insert_with(init)
+    }
+
+    /// Present states in ascending-id order.
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut AdfNodeState> {
+        self.slots.iter_mut().flatten()
+    }
+
+    /// `(id, state)` pairs in ascending-id order.
+    fn iter(&self) -> impl Iterator<Item = (MnId, &AdfNodeState)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (MnId::new(i as u32), s)))
+    }
+}
+
 /// The Adaptive Distance Filter (§3.2): classify → cluster → per-cluster
 /// DTH → filter.
 ///
@@ -282,7 +331,7 @@ pub struct AdaptiveDistanceFilter {
     tick: u64,
     clustered_once: bool,
     global_speeds: Welford,
-    nodes: BTreeMap<MnId, AdfNodeState>,
+    nodes: AdfNodeTable,
     cluster_count: usize,
 }
 
@@ -299,7 +348,7 @@ impl AdaptiveDistanceFilter {
             tick: 0,
             clustered_once: false,
             global_speeds: Welford::new(),
-            nodes: BTreeMap::new(),
+            nodes: AdfNodeTable::default(),
             cluster_count: 0,
         })
     }
@@ -319,19 +368,19 @@ impl AdaptiveDistanceFilter {
     /// The last classification of `node`, if it has been observed.
     #[must_use]
     pub fn pattern_of(&self, node: MnId) -> Option<MobilityPattern> {
-        self.nodes.get(&node).map(|s| s.pattern)
+        self.nodes.get(node).map(|s| s.pattern)
     }
 
     /// The cluster `node` was assigned at the last reclustering (`None` for
     /// stopped nodes, which the paper excludes from clustering).
     #[must_use]
     pub fn cluster_of(&self, node: MnId) -> Option<usize> {
-        self.nodes.get(&node).and_then(|s| s.cluster)
+        self.nodes.get(node).and_then(|s| s.cluster)
     }
 
     fn node_state(&mut self, node: MnId) -> &mut AdfNodeState {
         let cfg = &self.config;
-        self.nodes.entry(node).or_insert_with(|| AdfNodeState {
+        self.nodes.get_or_insert_with(node, || AdfNodeState {
             classifier: MobilityClassifier::new(cfg.classifier_window, cfg.v_walk).with_thresholds(
                 cfg.direction_change_threshold,
                 cfg.speed_change_fraction,
@@ -359,11 +408,14 @@ impl AdaptiveDistanceFilter {
             .nodes
             .iter()
             .filter(|(_, s)| s.pattern != MobilityPattern::Stop)
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
         let features: Vec<Vec<f64>> = moving
             .iter()
-            .map(|id| vec![self.nodes[id].classifier.mean_speed()])
+            .map(|id| {
+                let state = self.nodes.get(*id).expect("moving node exists");
+                vec![state.classifier.mean_speed()]
+            })
             .collect();
 
         let fallback_dth = self.config.dth_factor * self.global_speeds.mean();
@@ -376,7 +428,7 @@ impl AdaptiveDistanceFilter {
             for (i, id) in moving.iter().enumerate() {
                 let cluster = clustering.assignment(i);
                 let cluster_speed = clustering.centroid(cluster)[0];
-                let state = self.nodes.get_mut(id).expect("moving node exists");
+                let state = self.nodes.get_mut(*id).expect("moving node exists");
                 state.cluster = Some(cluster);
                 state.filter.set_dth(self.config.dth_factor * cluster_speed);
             }
@@ -449,11 +501,11 @@ impl FilterPolicy for AdaptiveDistanceFilter {
     }
 
     fn dth_for(&self, node: MnId) -> Option<f64> {
-        self.nodes.get(&node).map(|s| s.filter.dth())
+        self.nodes.get(node).map(|s| s.filter.dth())
     }
 
     fn probe(&self, node: MnId) -> Option<FilterProbe> {
-        self.nodes.get(&node).map(|s| FilterProbe {
+        self.nodes.get(node).map(|s| FilterProbe {
             pattern: Some(s.pattern),
             cluster: s.cluster,
             dth: Some(s.filter.dth()),

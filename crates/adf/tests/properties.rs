@@ -9,8 +9,6 @@ use mobigrid_geo::{Point, Polyline, Vec2};
 use mobigrid_mobility::{LoopMode, MobilityPattern, NodeType, PathFollower, StopModel};
 use mobigrid_wireless::MnId;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn trajectory() -> impl Strategy<Value = Vec<Point>> {
     // Random walks with bounded per-step displacement.
@@ -228,7 +226,7 @@ proptest! {
 fn synthetic_population(node_count: usize, seed: u64) -> Vec<MobileNode> {
     (0..node_count as u32)
         .map(|i| {
-            let rng = StdRng::seed_from_u64(seed ^ u64::from(i));
+            let rng_seed = seed ^ u64::from(i);
             if i % 3 == 2 {
                 MobileNode::new(
                     MnId::new(i),
@@ -236,8 +234,8 @@ fn synthetic_population(node_count: usize, seed: u64) -> Vec<MobileNode> {
                     RegionKind::Building,
                     NodeType::Human,
                     MobilityPattern::Stop,
-                    Box::new(StopModel::new(Point::new(500.0, f64::from(i) * 7.0))),
-                    rng,
+                    StopModel::new(Point::new(500.0, f64::from(i) * 7.0)),
+                    rng_seed,
                 )
             } else {
                 let y = f64::from(i) * 9.0;
@@ -250,8 +248,8 @@ fn synthetic_population(node_count: usize, seed: u64) -> Vec<MobileNode> {
                     RegionKind::Road,
                     NodeType::Human,
                     MobilityPattern::Linear,
-                    Box::new(PathFollower::new(path, speed, LoopMode::PingPong)),
-                    rng,
+                    PathFollower::new(path, speed, LoopMode::PingPong),
+                    rng_seed,
                 )
             }
         })

@@ -268,6 +268,35 @@ fn bench_tick_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The columnar (SoA) engine across the scenario × thread matrix, plus
+/// the `metro_100k` headline. Sims are built once and warmed before
+/// measurement (the steady state is the allocation-free column sweep), so
+/// this group is cheap enough to include the 100k-node city; its
+/// single-thread ns/tick is the `metro_100k` row of `BENCH_tick.json`.
+fn bench_soa_tick(c: &mut Criterion) {
+    use mobigrid_experiments::scenarios;
+    const WARMUP_TICKS: u64 = 30;
+    let mut g = c.benchmark_group("soa_tick");
+    g.sample_size(10);
+    for name in ["campus_140", "city_1140"] {
+        let s = scenarios::find(name).expect("registered scenario");
+        for &threads in &[1usize, 2, 4] {
+            let mut sim = s.build_sim(11, threads);
+            sim.run(WARMUP_TICKS);
+            g.bench_function(BenchmarkId::new(name, threads), |b| {
+                b.iter(|| black_box(sim.step()));
+            });
+        }
+    }
+    let metro = scenarios::find("metro_100k").expect("registered scenario");
+    let mut sim = metro.build_sim(11, 1);
+    sim.run(5);
+    g.bench_function(BenchmarkId::new("metro_100k", 1), |b| {
+        b.iter(|| black_box(sim.step()));
+    });
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_bsas_clustering,
@@ -283,6 +312,7 @@ criterion_group!(
     bench_steady_state_tick,
     bench_recording_overhead,
     bench_fault_channel,
-    bench_tick_throughput
+    bench_tick_throughput,
+    bench_soa_tick
 );
 criterion_main!(micro);

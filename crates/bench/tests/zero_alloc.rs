@@ -30,8 +30,6 @@ use mobigrid_campus::{RegionId, RegionKind};
 use mobigrid_geo::{Point, Polyline};
 use mobigrid_mobility::{LoopMode, MobilityPattern, NodeType, PathFollower, StopModel};
 use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind, MnId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Counts allocations made by the current thread. Frees are deliberately
 /// not counted: a steady-state tick must not *request* memory; returning
@@ -83,8 +81,8 @@ fn walker(id: u32, speed: f64) -> MobileNode {
         RegionKind::Road,
         NodeType::Human,
         MobilityPattern::Linear,
-        Box::new(PathFollower::new(path, speed, LoopMode::PingPong)),
-        StdRng::seed_from_u64(u64::from(id)),
+        PathFollower::new(path, speed, LoopMode::PingPong),
+        u64::from(id),
     )
 }
 
@@ -95,8 +93,8 @@ fn parked(id: u32) -> MobileNode {
         RegionKind::Building,
         NodeType::Human,
         MobilityPattern::Stop,
-        Box::new(StopModel::new(Point::new(500.0, f64::from(id) * 10.0))),
-        StdRng::seed_from_u64(u64::from(id)),
+        StopModel::new(Point::new(500.0, f64::from(id) * 10.0)),
+        u64::from(id),
     )
 }
 
@@ -186,6 +184,59 @@ fn post_warmup_recorded_ticks_with_noop_recorder_do_not_allocate() {
         "steady-state recorded ticks allocated {allocations} times"
     );
     assert!(sent > 0, "measured window transmitted nothing");
+}
+
+/// The columnar (SoA) engine is what makes the steady state allocation-
+/// free, and this pins it directly: a population big enough for several
+/// full 64-node shards plus a ragged tail, mixing enum-dispatched engine
+/// variants, must sweep its position/RNG/engine columns without a single
+/// allocation — no boxing in the dispatch, no per-tick column growth, no
+/// scratch reallocation at shard boundaries.
+#[test]
+fn columnar_shard_sweep_does_not_allocate() {
+    use mobigrid_mobility::MobilityKind;
+
+    // 203 nodes = 3 full shards + a 11-node ragged tail.
+    let nodes: Vec<MobileNode> = (0..203u32)
+        .map(|i| {
+            if i % 3 == 0 {
+                parked(i)
+            } else {
+                walker(i, 0.75 + f64::from(i % 5))
+            }
+        })
+        .collect();
+    let adf = AdfConfig {
+        recluster_interval: 10_000,
+        ..AdfConfig::new(1.0)
+    };
+    let mut sim = SimBuilder::new()
+        .nodes(nodes)
+        .policy(AdaptiveDistanceFilter::new(adf).expect("valid config"))
+        .threads(1)
+        .build()
+        .expect("valid simulation");
+
+    // This is really the columnar engine: the enum-dispatched kind column
+    // spans both variants and the shard count covers a ragged tail.
+    let kinds = sim.columns().mobility_kinds();
+    assert!(kinds.contains(&MobilityKind::Path));
+    assert!(kinds.contains(&MobilityKind::Stop));
+    assert_eq!(sim.columns().len(), 203);
+
+    for _ in 0..60 {
+        sim.step();
+    }
+
+    let before = allocation_count();
+    for _ in 0..30 {
+        sim.step();
+    }
+    assert_eq!(
+        allocation_count() - before,
+        0,
+        "columnar shard sweep allocated"
+    );
 }
 
 #[test]

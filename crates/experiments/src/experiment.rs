@@ -18,7 +18,9 @@ use crate::campaign::{run_campaign_recorded, CampaignData};
 use crate::config::ExperimentConfig;
 use crate::fault_matrix::{self, FaultMatrixConfig};
 use crate::report::text_table;
-use crate::{extensions, fig4, fig5, fig6, fig7, fig89, intervals, robustness, scalability, table1};
+use crate::{
+    extensions, fig4, fig5, fig6, fig7, fig89, intervals, robustness, scalability, scale, table1,
+};
 use mobigrid_telemetry::Recorder;
 
 /// The rendered outcome of one experiment run.
@@ -274,6 +276,28 @@ impl Experiment for ScalabilityExp {
     }
 }
 
+struct ScaleExp;
+impl Experiment for ScaleExp {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+    fn description(&self) -> &'static str {
+        "Scale benchmark: ns/tick and LU/s over campus_140 -> city_1140 -> metro_100k"
+    }
+    fn run(&self, cfg: &ExperimentConfig, _rec: &mut dyn Recorder) -> Report {
+        let sweep: Vec<&crate::scenarios::Scenario> = ["campus_140", "city_1140", "metro_100k"]
+            .iter()
+            .map(|n| crate::scenarios::find(n).expect("registered scenario"))
+            .collect();
+        let report = scale::run_scale(cfg, &sweep);
+        Report {
+            name: self.name(),
+            text: report.to_string(),
+            csv: Some(report.to_csv()),
+        }
+    }
+}
+
 struct SeedsExp;
 impl Experiment for SeedsExp {
     fn name(&self) -> &'static str {
@@ -317,7 +341,7 @@ impl Experiment for ExtensionsExp {
 /// Every registered experiment, in presentation order.
 #[must_use]
 pub fn all() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 13] = [
+    static REGISTRY: [&dyn Experiment; 14] = [
         &Table1Exp,
         &Fig4Exp,
         &Fig5Exp,
@@ -329,6 +353,7 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &FaultMatrixExp,
         &IntervalsExp,
         &ScalabilityExp,
+        &ScaleExp,
         &SeedsExp,
         &ExtensionsExp,
     ];

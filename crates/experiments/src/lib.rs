@@ -68,6 +68,8 @@ pub mod fig89;
 pub mod report;
 pub mod robustness;
 pub mod scalability;
+pub mod scale;
+pub mod scenarios;
 pub mod table1;
 pub mod trace;
 pub mod workload;

@@ -14,7 +14,7 @@ use mobigrid_adf::MobileNode;
 use mobigrid_campus::{Campus, Region, RegionKind, RegionShape};
 use mobigrid_geo::Point;
 use mobigrid_mobility::{
-    IndoorWalker, MobilityModel, MobilityPattern, NodeType, RandomWalk, RoadPatroller, StopModel,
+    IndoorWalker, MobilityEngine, MobilityPattern, NodeType, RandomWalk, RoadPatroller, StopModel,
 };
 use mobigrid_sim::SeedStream;
 use mobigrid_wireless::{AccessNetwork, Gateway, GatewayKind, MnId};
@@ -92,17 +92,13 @@ pub const NODES_PER_ROAD: usize = 10;
 /// Nodes hosted by each building (5 SS + 5 RMS + 5 LMS).
 pub const NODES_PER_BUILDING: usize = 15;
 
-fn road_model(
-    region: &Region,
-    speed_range: (f64, f64),
-    start_fraction: f64,
-) -> Box<dyn MobilityModel + Send> {
+fn road_model(region: &Region, speed_range: (f64, f64), start_fraction: f64) -> RoadPatroller {
     let RegionShape::Corridor { spine, .. } = region.shape() else {
         panic!("road regions are corridors");
     };
     // Stagger starting positions along the road so nodes don't bunch up.
     let offset = start_fraction * spine.length();
-    Box::new(RoadPatroller::new(spine.clone(), speed_range, offset))
+    RoadPatroller::new(spine.clone(), speed_range, offset)
 }
 
 fn building_rect(region: &Region) -> mobigrid_geo::Rect {
@@ -180,7 +176,7 @@ pub fn populate(campus: &Campus, seed: u64) -> Vec<MobileNode> {
                     node_type,
                     MobilityPattern::Linear,
                     model,
-                    setup.rng_for(1),
+                    setup.seed_for(1),
                 )
                 .with_home_anchor(road.anchor()),
             );
@@ -195,18 +191,18 @@ pub fn populate(campus: &Campus, seed: u64) -> Vec<MobileNode> {
             let setup = stream.substream(1000 + u64::from(id.raw()));
             let mut rng = setup.rng_for(0);
             let start = rect.point_at_uv(rng.gen(), rng.gen());
-            let (pattern, model): (MobilityPattern, Box<dyn MobilityModel + Send>) = if k < 5 {
-                (MobilityPattern::Stop, Box::new(StopModel::new(start)))
+            let (pattern, model): (MobilityPattern, MobilityEngine) = if k < 5 {
+                (MobilityPattern::Stop, StopModel::new(start).into())
             } else if k < 10 {
                 let max_speed = rng.gen_range(0.4..=1.0);
                 (
                     MobilityPattern::Random,
-                    Box::new(RandomWalk::new(rect, start, max_speed)),
+                    RandomWalk::new(rect, start, max_speed).into(),
                 )
             } else {
                 (
                     MobilityPattern::Linear,
-                    Box::new(IndoorWalker::with_speed_range(rect, start, (1.0, 1.5))),
+                    IndoorWalker::with_speed_range(rect, start, (1.0, 1.5)).into(),
                 )
             };
             nodes.push(
@@ -217,7 +213,7 @@ pub fn populate(campus: &Campus, seed: u64) -> Vec<MobileNode> {
                     NodeType::Human,
                     pattern,
                     model,
-                    setup.rng_for(1),
+                    setup.seed_for(1),
                 )
                 .with_home_anchor(building.anchor()),
             );

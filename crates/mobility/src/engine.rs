@@ -1,0 +1,255 @@
+use rand::RngCore;
+
+use mobigrid_geo::Point;
+
+use crate::{
+    GaussMarkov, IndoorWalker, MobilityModel, MobilityPattern, PathFollower, RandomWalk,
+    RoadPatroller, Schedule, StopModel, TraceReplay,
+};
+
+/// Compact discriminant of a [`MobilityEngine`] variant.
+///
+/// Stored as a dense column by the simulation's SoA node store so tick
+/// kernels can branch on one byte instead of chasing a vtable pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MobilityKind {
+    /// [`StopModel`] — a fixed position (SS).
+    Stop,
+    /// [`RandomWalk`] — bounded jitter inside a footprint (RMS).
+    RandomWalk,
+    /// [`IndoorWalker`] — straight hallway legs between targets (indoor LMS).
+    IndoorWalk,
+    /// [`RoadPatroller`] — ping-pong patrolling along a road spine (LMS).
+    RoadPatrol,
+    /// [`PathFollower`] — arc-length travel along a route (LMS).
+    Path,
+    /// [`GaussMarkov`] — temporally correlated velocity process.
+    GaussMarkov,
+    /// [`Schedule`] — phases composed into a day.
+    Schedule,
+    /// [`TraceReplay`] — deterministic replay of a recorded trace.
+    TraceReplay,
+    /// An out-of-tree boxed [`MobilityModel`] (the escape hatch).
+    Custom,
+}
+
+/// Every in-tree mobility model as one enum, dispatched by `match` instead
+/// of a `Box<dyn MobilityModel>` vtable.
+///
+/// The simulation stores one engine per node in a dense column; enum
+/// dispatch keeps the movement kernel branch-predictable and free of heap
+/// pointer chasing for all in-tree models. [`MobilityEngine::Custom`] keeps
+/// the model surface pluggable: anything implementing [`MobilityModel`]
+/// still works, it just pays the old boxed-dispatch cost.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_mobility::{MobilityEngine, MobilityKind, MobilityModel, StopModel};
+/// use mobigrid_geo::Point;
+/// use rand::SeedableRng;
+///
+/// let mut engine = MobilityEngine::from(StopModel::new(Point::new(1.0, 2.0)));
+/// assert_eq!(engine.kind(), MobilityKind::Stop);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(engine.step(1.0, &mut rng), Point::new(1.0, 2.0));
+/// ```
+pub enum MobilityEngine {
+    /// A parked node.
+    Stop(StopModel),
+    /// A bounded random walker.
+    RandomWalk(RandomWalk),
+    /// An indoor hallway walker.
+    IndoorWalk(IndoorWalker),
+    /// A road patroller.
+    RoadPatrol(RoadPatroller),
+    /// A route follower.
+    Path(PathFollower),
+    /// A Gauss–Markov process.
+    GaussMarkov(GaussMarkov),
+    /// A phase schedule.
+    Schedule(Schedule),
+    /// A trace replayer.
+    TraceReplay(TraceReplay),
+    /// Any other model, boxed (legacy dynamic dispatch).
+    Custom(Box<dyn MobilityModel + Send>),
+}
+
+impl MobilityEngine {
+    /// Wraps an out-of-tree model in the boxed escape-hatch variant.
+    pub fn custom(model: impl MobilityModel + Send + 'static) -> Self {
+        MobilityEngine::Custom(Box::new(model))
+    }
+
+    /// This engine's variant discriminant.
+    #[must_use]
+    pub fn kind(&self) -> MobilityKind {
+        match self {
+            MobilityEngine::Stop(_) => MobilityKind::Stop,
+            MobilityEngine::RandomWalk(_) => MobilityKind::RandomWalk,
+            MobilityEngine::IndoorWalk(_) => MobilityKind::IndoorWalk,
+            MobilityEngine::RoadPatrol(_) => MobilityKind::RoadPatrol,
+            MobilityEngine::Path(_) => MobilityKind::Path,
+            MobilityEngine::GaussMarkov(_) => MobilityKind::GaussMarkov,
+            MobilityEngine::Schedule(_) => MobilityKind::Schedule,
+            MobilityEngine::TraceReplay(_) => MobilityKind::TraceReplay,
+            MobilityEngine::Custom(_) => MobilityKind::Custom,
+        }
+    }
+
+    /// The wrapped model as a trait object (read-only).
+    fn inner(&self) -> &dyn MobilityModel {
+        match self {
+            MobilityEngine::Stop(m) => m,
+            MobilityEngine::RandomWalk(m) => m,
+            MobilityEngine::IndoorWalk(m) => m,
+            MobilityEngine::RoadPatrol(m) => m,
+            MobilityEngine::Path(m) => m,
+            MobilityEngine::GaussMarkov(m) => m,
+            MobilityEngine::Schedule(m) => m,
+            MobilityEngine::TraceReplay(m) => m,
+            MobilityEngine::Custom(m) => m.as_ref(),
+        }
+    }
+}
+
+impl MobilityModel for MobilityEngine {
+    #[inline]
+    fn step(&mut self, dt: f64, rng: &mut dyn RngCore) -> Point {
+        match self {
+            MobilityEngine::Stop(m) => m.step(dt, rng),
+            MobilityEngine::RandomWalk(m) => m.step(dt, rng),
+            MobilityEngine::IndoorWalk(m) => m.step(dt, rng),
+            MobilityEngine::RoadPatrol(m) => m.step(dt, rng),
+            MobilityEngine::Path(m) => m.step(dt, rng),
+            MobilityEngine::GaussMarkov(m) => m.step(dt, rng),
+            MobilityEngine::Schedule(m) => m.step(dt, rng),
+            MobilityEngine::TraceReplay(m) => m.step(dt, rng),
+            MobilityEngine::Custom(m) => m.step(dt, rng),
+        }
+    }
+
+    fn position(&self) -> Point {
+        self.inner().position()
+    }
+
+    fn pattern(&self) -> MobilityPattern {
+        self.inner().pattern()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.inner().is_finished()
+    }
+}
+
+impl std::fmt::Debug for MobilityEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobilityEngine")
+            .field("kind", &self.kind())
+            .field("pattern", &self.pattern())
+            .field("position", &self.position())
+            .finish()
+    }
+}
+
+impl From<StopModel> for MobilityEngine {
+    fn from(m: StopModel) -> Self {
+        MobilityEngine::Stop(m)
+    }
+}
+impl From<RandomWalk> for MobilityEngine {
+    fn from(m: RandomWalk) -> Self {
+        MobilityEngine::RandomWalk(m)
+    }
+}
+impl From<IndoorWalker> for MobilityEngine {
+    fn from(m: IndoorWalker) -> Self {
+        MobilityEngine::IndoorWalk(m)
+    }
+}
+impl From<RoadPatroller> for MobilityEngine {
+    fn from(m: RoadPatroller) -> Self {
+        MobilityEngine::RoadPatrol(m)
+    }
+}
+impl From<PathFollower> for MobilityEngine {
+    fn from(m: PathFollower) -> Self {
+        MobilityEngine::Path(m)
+    }
+}
+impl From<GaussMarkov> for MobilityEngine {
+    fn from(m: GaussMarkov) -> Self {
+        MobilityEngine::GaussMarkov(m)
+    }
+}
+impl From<Schedule> for MobilityEngine {
+    fn from(m: Schedule) -> Self {
+        MobilityEngine::Schedule(m)
+    }
+}
+impl From<TraceReplay> for MobilityEngine {
+    fn from(m: TraceReplay) -> Self {
+        MobilityEngine::TraceReplay(m)
+    }
+}
+impl From<Box<dyn MobilityModel + Send>> for MobilityEngine {
+    fn from(m: Box<dyn MobilityModel + Send>) -> Self {
+        MobilityEngine::Custom(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobigrid_geo::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bounds() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)).unwrap()
+    }
+
+    #[test]
+    fn kind_tracks_variant() {
+        let e = MobilityEngine::from(StopModel::new(Point::new(0.0, 0.0)));
+        assert_eq!(e.kind(), MobilityKind::Stop);
+        let e = MobilityEngine::from(RandomWalk::new(bounds(), Point::new(5.0, 5.0), 1.0));
+        assert_eq!(e.kind(), MobilityKind::RandomWalk);
+        let e = MobilityEngine::custom(StopModel::new(Point::new(0.0, 0.0)));
+        assert_eq!(e.kind(), MobilityKind::Custom);
+    }
+
+    /// Enum dispatch is a pure reorganisation: stepping an engine with a
+    /// given RNG stream yields bit-identical positions to stepping the bare
+    /// model with an identically seeded RNG.
+    #[test]
+    fn enum_dispatch_matches_direct_dispatch() {
+        let start = Point::new(10.0, 10.0);
+        let mut direct = RandomWalk::new(bounds(), start, 1.5);
+        let mut engine = MobilityEngine::from(RandomWalk::new(bounds(), start, 1.5));
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            assert_eq!(direct.step(1.0, &mut rng_a), engine.step(1.0, &mut rng_b));
+        }
+        assert_eq!(direct.position(), engine.position());
+        assert_eq!(direct.pattern(), engine.pattern());
+    }
+
+    #[test]
+    fn custom_box_round_trips_through_from() {
+        let boxed: Box<dyn MobilityModel + Send> = Box::new(StopModel::new(Point::new(3.0, 4.0)));
+        let mut e = MobilityEngine::from(boxed);
+        assert_eq!(e.kind(), MobilityKind::Custom);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(e.step(1.0, &mut rng), Point::new(3.0, 4.0));
+        assert!(!e.is_finished());
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let e = MobilityEngine::from(StopModel::new(Point::new(1.0, 2.0)));
+        let s = format!("{e:?}");
+        assert!(s.contains("Stop"), "{s}");
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod gauss_markov;
 mod indoor;
 mod linear;
@@ -50,6 +51,7 @@ mod schedule;
 mod stop;
 mod trace;
 
+pub use engine::{MobilityEngine, MobilityKind};
 pub use gauss_markov::GaussMarkov;
 pub use indoor::IndoorWalker;
 pub use linear::{LoopMode, PathFollower};

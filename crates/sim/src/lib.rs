@@ -11,7 +11,8 @@
 //! * [`Engine`] / [`Model`] — an event-dispatch loop over a user model,
 //! * [`TickDriver`] — the fixed-step (1 s tick) driver the campus
 //!   experiments use,
-//! * [`SeedStream`] — reproducible per-entity random seeds,
+//! * [`SeedStream`] — reproducible per-entity random seeds, and
+//!   [`SplitMix64`] — the canonical single-word generator those seeds drive,
 //! * [`par::ShardPool`] — deterministic sharded parallel execution with
 //!   shard-ordered reduction (results are bit-identical across thread
 //!   counts),
@@ -54,6 +55,6 @@ mod time;
 
 pub use engine::{Context, Engine, Model};
 pub use queue::{EventQueue, ScheduledEvent};
-pub use rng::SeedStream;
+pub use rng::{SeedStream, SplitMix64};
 pub use stepper::{Tick, TickDriver};
 pub use time::SimTime;

@@ -1,5 +1,114 @@
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// SplitMix64 golden-gamma increment (also the seed-expansion gamma used by
+/// `SeedableRng::seed_from_u64`).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Advances a SplitMix64 state and returns the next output word.
+///
+/// This is the repo-canonical generator documented in
+/// `vendor/stubs/README.md`: the standard SplitMix64 finaliser over a state
+/// that advances by the golden-gamma constant.
+#[inline]
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace-canonical SplitMix64 generator with its entire state in one
+/// `u64` — cheap to store inline in a dense column, `Copy`, and bit-for-bit
+/// compatible with the random streams the golden traces were recorded
+/// against.
+///
+/// # Seed compatibility
+///
+/// All committed golden traces were produced through the vendored `rand`
+/// stub's `StdRng`, whose generator is this same SplitMix64 but whose
+/// *seeding path* goes through `SeedableRng::seed_from_u64` (32-byte seed
+/// expansion, then an XOR/rotate fold). [`SplitMix64::from_stdrng_seed`]
+/// replicates that path exactly, so a `SplitMix64` seeded from the same
+/// `u64` emits the identical sequence — the compat shim that keeps golden
+/// traces replaying bit-exact after the per-node `StdRng` was replaced by a
+/// plain state column.
+///
+/// # Examples
+///
+/// ```
+/// use mobigrid_sim::SplitMix64;
+/// use rand::{rngs::StdRng, RngCore, SeedableRng};
+///
+/// let mut column = SplitMix64::from_stdrng_seed(42);
+/// let mut legacy = StdRng::seed_from_u64(42);
+/// assert_eq!(column.next_u64(), legacy.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose internal state is exactly `state` (no seeding
+    /// transformation). Use [`SplitMix64::from_stdrng_seed`] for streams
+    /// that must match `StdRng::seed_from_u64`.
+    #[must_use]
+    pub const fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The current internal state, for externalising the generator into a
+    /// dense column and resuming later via [`SplitMix64::from_state`].
+    #[must_use]
+    pub const fn state(self) -> u64 {
+        self.state
+    }
+
+    /// Seeds exactly like the vendored stub's `StdRng::seed_from_u64(seed)`:
+    /// four SplitMix64 outputs form a 32-byte seed, which is folded into the
+    /// initial state with XOR + `rotate_left(17)` per 8-byte word.
+    ///
+    /// This is the golden-trace seed-compat shim; see the type-level docs.
+    #[must_use]
+    pub fn from_stdrng_seed(seed: u64) -> Self {
+        let mut expand = seed;
+        let mut state = 0u64;
+        for _ in 0..4 {
+            // Each 8-byte seed chunk is one splitmix output, little-endian;
+            // XOR-folding the LE bytes as a u64 is the word itself.
+            state ^= splitmix_next(&mut expand);
+            state = state.rotate_left(17);
+        }
+        SplitMix64 { state }
+    }
+
+    /// The next raw 64-bit output (also available through [`RngCore`]).
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        splitmix_next(&mut self.state)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_raw().to_le_bytes();
+            for (b, s) in chunk.iter_mut().zip(v) {
+                *b = s;
+            }
+        }
+    }
+}
 
 /// Derives reproducible, statistically independent seeds for simulation
 /// entities from one master seed.
@@ -60,6 +169,14 @@ impl SeedStream {
     #[must_use]
     pub fn rng_for(self, index: u64) -> StdRng {
         StdRng::seed_from_u64(self.seed_for(index))
+    }
+
+    /// A ready-to-use [`SplitMix64`] for entity `index`, emitting the same
+    /// stream as [`SeedStream::rng_for`] (see
+    /// [`SplitMix64::from_stdrng_seed`]).
+    #[must_use]
+    pub fn splitmix_for(self, index: u64) -> SplitMix64 {
+        SplitMix64::from_stdrng_seed(self.seed_for(index))
     }
 
     /// A child stream for a namespaced family of entities (e.g. one stream
@@ -127,5 +244,51 @@ mod tests {
         let s = SeedStream::new(0);
         assert_ne!(s.seed_for(0), 0);
         assert_ne!(s.seed_for(0), s.seed_for(1));
+    }
+
+    /// The golden-trace seed-compat contract: for any seed, `SplitMix64`
+    /// seeded via `from_stdrng_seed` must emit the bit-identical stream to
+    /// the vendored stub's `StdRng::seed_from_u64` across the whole RngCore
+    /// surface (u64, u32 and byte outputs all draw from one shared stream).
+    #[test]
+    fn splitmix_matches_stdrng_stream() {
+        use rand::RngCore;
+        for seed in [0u64, 1, 42, 0x5EED_5EED_5EED_5EED, u64::MAX] {
+            let mut a = SplitMix64::from_stdrng_seed(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            for i in 0..64 {
+                match i % 3 {
+                    0 => assert_eq!(a.next_u64(), b.next_u64(), "seed={seed} draw={i}"),
+                    1 => assert_eq!(a.next_u32(), b.next_u32(), "seed={seed} draw={i}"),
+                    _ => {
+                        let (mut xa, mut xb) = ([0u8; 13], [0u8; 13]);
+                        a.fill_bytes(&mut xa);
+                        b.fill_bytes(&mut xb);
+                        assert_eq!(xa, xb, "seed={seed} draw={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_state_round_trips() {
+        let mut a = SplitMix64::from_stdrng_seed(7);
+        let _ = a.next_raw();
+        let saved = a.state();
+        let mut b = SplitMix64::from_state(saved);
+        assert_eq!(a.next_raw(), b.next_raw());
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn splitmix_for_matches_rng_for() {
+        use rand::RngCore;
+        let stream = SeedStream::new(99);
+        let mut a = stream.splitmix_for(12);
+        let mut b = stream.rng_for(12);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 }

@@ -116,7 +116,7 @@ fn nodes_stay_inside_their_home_regions() {
         .build()
         .expect("valid simulation");
     sim.run(200);
-    for node in sim.nodes() {
+    for node in (0..sim.node_count()).map(|i| sim.node(i)) {
         let region = campus.region(node.region());
         // Road nodes ride the spine; building nodes the footprint. Allow a
         // small tolerance for corridor-width rounding.
@@ -147,7 +147,7 @@ fn ground_truth_traces_are_recorded_when_opted_in() {
         .build()
         .expect("valid simulation");
     sim.run(50);
-    for node in sim.nodes() {
+    for node in (0..sim.node_count()).map(|i| sim.node(i)) {
         assert_eq!(node.trace().len(), 50);
         assert!((node.trace().duration() - 49.0).abs() < 1e-9);
     }
@@ -163,7 +163,7 @@ fn traces_stay_empty_by_default() {
         .build()
         .expect("valid simulation");
     sim.run(50);
-    for node in sim.nodes() {
+    for node in (0..sim.node_count()).map(|i| sim.node(i)) {
         assert!(node.trace().is_empty());
     }
 }
